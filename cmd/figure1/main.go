@@ -1,0 +1,68 @@
+// Command figure1 regenerates Figure 1 of the paper: the mark/cons overhead
+// of the non-predictive collector divided by the overhead of a
+// non-generational collector, as a function of the generation fraction g
+// and the inverse load factor L, under the radioactive decay model.
+//
+// By default it prints the analytic curves (thin lines exact where
+// Theorem 4 holds, thick lines the fixed-point lower bound elsewhere) as
+// CSV. With -sim it also measures real collectors on the decay workload at
+// each sampled g, which takes a while.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rdgc/internal/analytic"
+	"rdgc/internal/experiments"
+)
+
+func main() {
+	lsFlag := flag.String("L", "1.5,2,3,4,6,8", "comma-separated inverse load factors")
+	points := flag.Int("points", 50, "samples of g in (0, 0.5]")
+	sim := flag.Bool("sim", false, "also simulate real collectors (slow)")
+	simPoints := flag.Int("simpoints", 10, "g samples for simulation")
+	halfLife := flag.Float64("h", 1024, "half-life for simulation, in objects")
+	steps := flag.Int("steps", 150000, "measured allocations for simulation")
+	flag.Parse()
+
+	var ls []float64
+	for _, tok := range strings.Split(*lsFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(tok), 64)
+		if err != nil {
+			fmt.Println("bad -L:", err)
+			return
+		}
+		ls = append(ls, v)
+	}
+
+	fmt.Println("# analytic curves: relative overhead vs g (thin=exact, thick=lower bound)")
+	fmt.Println("L,g,relative_overhead,exact")
+	for _, l := range ls {
+		for _, pt := range analytic.Figure1Series(l, analytic.SweepG(*points)) {
+			fmt.Printf("%g,%.4f,%.6f,%v\n", pt.L, pt.G, pt.Ratio, pt.Exact)
+		}
+	}
+
+	for _, l := range ls {
+		g, ratio := analytic.BestG(l)
+		fmt.Printf("# best g for L=%g: g=%.3f, relative overhead %.3f\n", l, g, ratio)
+	}
+
+	if !*sim {
+		return
+	}
+	fmt.Println("# simulated points (non-predictive / mark-sweep, measured)")
+	fmt.Println("L,g,relative_overhead_measured")
+	for _, l := range ls {
+		cfg := experiments.DecayConfig{HalfLife: *halfLife, L: l, Steps: *steps}
+		ms := experiments.RunMarkSweep(cfg)
+		for i := 1; i <= *simPoints; i++ {
+			cfg.G = 0.5 * float64(i) / float64(*simPoints)
+			np := experiments.RunNonPredictive(cfg)
+			fmt.Printf("%g,%.3f,%.4f\n", l, cfg.G, np.MarkCons/ms.MarkCons)
+		}
+	}
+}

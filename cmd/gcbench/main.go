@@ -1,0 +1,84 @@
+// Command gcbench reproduces Tables 2 and 3 of the paper: the benchmark
+// inventory, and the allocation volumes, estimated peaks, and gc/mutator
+// overheads of each benchmark under the non-generational stop-and-copy
+// collector and the conventional generational collector. With -hybrid it
+// additionally measures the Larceny-style hybrid collector (ephemeral
+// nursery + non-predictive dynamic area) that Section 8 describes, and with
+// -remset it reports remembered-set growth (§8.3).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rdgc/internal/bench"
+	"rdgc/internal/experiments"
+	"rdgc/internal/gc/hybrid"
+	"rdgc/internal/heap"
+)
+
+func main() {
+	table2 := flag.Bool("table2", false, "print the benchmark inventory and exit")
+	quick := flag.Bool("quick", false, "use reduced-scale benchmark instances")
+	withHybrid := flag.Bool("hybrid", false, "also measure the hybrid (non-predictive) collector")
+	flag.Parse()
+
+	if *table2 {
+		fmt.Println("Table 2: benchmark inventory (Go reimplementation)")
+		for _, i := range bench.Table2() {
+			fmt.Printf("  %-10s %5d lines   %s\n", i.Name, i.Lines, i.Description)
+		}
+		return
+	}
+
+	progs := bench.Standard()
+	if *quick {
+		progs = bench.Quick()
+	}
+	cfg := experiments.DefaultTable3Config()
+
+	fmt.Println("Table 3: storage allocation and garbage collection overheads")
+	fmt.Printf("%-10s %12s %12s %12s %8s %8s", "name", "alloc (Mw)", "peak (Kw)", "semi (Kw)", "s&c", "gen")
+	if *withHybrid {
+		fmt.Printf(" %8s %10s", "hybrid", "remsets")
+	}
+	fmt.Println()
+
+	for _, p := range progs {
+		p := p
+		row, err := experiments.RunTable3Row(func() bench.Program { return p }, cfg)
+		if err != nil {
+			fmt.Printf("%-10s error: %v\n", p.Name(), err)
+			continue
+		}
+		fmt.Printf("%-10s %12.2f %12.0f %12.0f %7.1f%% %7.1f%%",
+			row.Program, float64(row.AllocWords)/1e6, float64(row.PeakWords)/1e3,
+			float64(row.SemiWords)/1e3, 100*row.GCRatioSC(), 100*row.GCRatioGen())
+		if *withHybrid {
+			hres, a, b := runHybrid(p, row)
+			fmt.Printf(" %7.1f%% %5d/%4d", 100*float64(hres.GCWorkWords)/
+				(experiments.MutatorCostPerWord*float64(hres.WordsAllocated)), a, b)
+		}
+		fmt.Println()
+	}
+}
+
+// runHybrid measures the hybrid collector sized like the generational one.
+func runHybrid(p bench.Program, row experiments.Table3Row) (bench.RunResult, int, int) {
+	h := heap.New()
+	nursery := row.SemiWords / 8
+	if nursery < 2048 {
+		nursery = 2048
+	}
+	stepWords := row.SemiWords / 8
+	if stepWords < nursery/2 {
+		stepWords = nursery / 2
+	}
+	c := hybrid.New(h, nursery, 8, stepWords, hybrid.WithGrowth())
+	res := bench.Measure(p, h, c)
+	a, b := c.RemsetLens()
+	if res.Err != nil {
+		fmt.Printf("  (hybrid error: %v)\n", res.Err)
+	}
+	return res, a, b
+}

@@ -1,0 +1,68 @@
+// Command rdmsim runs the radioactive decay workload against the
+// repository's collectors and reports measured mark/cons ratios next to the
+// paper's analytic predictions: 1/(L-1) for the non-generational collectors
+// (Section 5), Theorem 4 for the non-predictive collector, and worse than
+// both for the conventional youngest-first generational collector
+// (Section 3).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"rdgc/internal/analytic"
+	"rdgc/internal/experiments"
+)
+
+func main() {
+	h := flag.Float64("h", 1024, "half-life in objects")
+	l := flag.Float64("L", 3.5, "inverse load factor")
+	g := flag.Float64("g", 0.25, "generation fraction g = j/k for the non-predictive collector")
+	k := flag.Int("k", 16, "non-predictive step count")
+	steps := flag.Int("steps", 200000, "measured allocations")
+	seed := flag.Int64("seed", 1, "workload seed")
+	linking := flag.Float64("link", 0, "probability a new object links a live one (remset experiment)")
+	all := flag.Bool("all", false, "also measure the hybrid, multigen, and np-mark/sweep collectors")
+	infant := flag.Float64("infant", 0, "infant-mortality probability (0 = pure decay)")
+	infantH := flag.Float64("infanth", 0, "infant half-life (default h/64)")
+	flag.Parse()
+
+	if *infant > 0 && *infantH == 0 {
+		*infantH = *h / 64
+	}
+	cfg := experiments.DecayConfig{
+		HalfLife: *h, L: *l, G: *g, K: *k, Steps: *steps, Seed: *seed, Linking: *linking,
+		InfantProb: *infant, InfantHalfLife: *infantH,
+	}
+
+	fmt.Printf("radioactive decay: h=%g  L=%g  g=%g  k=%d  heap=%d words\n",
+		*h, *l, *g, *k, cfg.HeapWords())
+	fmt.Printf("expected equilibrium live: %.0f objects (1.4427h, eq. 1)\n\n",
+		analytic.EquilibriumLive(*h))
+
+	for _, r := range experiments.CompareAll(cfg) {
+		fmt.Println(r)
+	}
+	if *all {
+		fmt.Println(experiments.RunHybrid(cfg))
+		fmt.Println(experiments.RunMultigen(cfg, 3))
+		fmt.Println(experiments.RunNonPredictiveMS(cfg))
+	}
+
+	fmt.Printf("\nanalytic predictions:\n")
+	fmt.Printf("  non-generational mark/cons 1/(L-1):        %.4f\n",
+		analytic.NonGenerationalMarkCons(*l))
+	if analytic.Theorem4Holds(*g, *l) {
+		fmt.Printf("  non-predictive mark/cons (Theorem 4):      %.4f\n",
+			analytic.MarkCons(*g, *l))
+		fmt.Printf("  relative overhead (Corollary 5):           %.4f\n",
+			analytic.Relative(*g, *l))
+	} else {
+		lb, err := analytic.MarkConsLowerBound(*g, *l)
+		if err == nil {
+			fmt.Printf("  non-predictive mark/cons (lower bound):    %.4f\n", lb)
+		}
+	}
+	bestG, ratio := analytic.BestG(*l)
+	fmt.Printf("  best g for this L: %.3f (relative overhead %.3f)\n", bestG, ratio)
+}

@@ -1,0 +1,75 @@
+// Command survival reproduces the lifetime measurements of Section 7:
+// Tables 4-7 (survival rates by age) and Figures 2-4 (live storage versus
+// time, striped by age). Figures are emitted as CSV (for plotting) or as a
+// terminal skyline with -ascii.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdgc/internal/experiments"
+)
+
+func main() {
+	id := flag.String("id", "all", "experiment: table4..table7, figure2..figure4, or all")
+	ascii := flag.Bool("ascii", false, "render figures as a terminal skyline instead of CSV")
+	width := flag.Int("width", 72, "skyline width for -ascii")
+	flag.Parse()
+
+	ran := false
+	for _, e := range experiments.SurvivalExperiments() {
+		if *id != "all" && *id != e.ID {
+			continue
+		}
+		ran = true
+		fmt.Printf("== %s: %s\n", e.ID, e.Description)
+		rows, err := experiments.RunSurvival(e)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		bytesPerEpoch := e.EpochWords * 8
+		for _, r := range rows {
+			if r.Live == 0 {
+				continue
+			}
+			lo := uint64(r.AgeLo+1) * bytesPerEpoch
+			hi := fmt.Sprintf("%d", uint64(r.AgeHi+1)*bytesPerEpoch)
+			if r.AgeHi < 0 {
+				hi = "older"
+			}
+			fmt.Printf("  %9d to %9s bytes old: %3.0f%%\n", lo, hi, 100*r.Rate())
+		}
+		fmt.Println()
+	}
+
+	for _, e := range experiments.ProfileExperiments() {
+		if *id != "all" && *id != e.ID {
+			continue
+		}
+		ran = true
+		fmt.Printf("== %s: %s\n", e.ID, e.Description)
+		p, err := experiments.RunProfile(e)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *ascii {
+			if err := p.RenderASCII(os.Stdout, *width); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		} else if err := p.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *id)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,50 @@
+// Boyerrun: run the nboyer and sboyer benchmarks under the Larceny-style
+// hybrid collector (ephemeral nursery + non-predictive dynamic area of
+// Section 8), with a lifetime census attached, and print the allocation
+// volume, collector work, remembered-set sizes, and the survival-by-age
+// table that distinguishes the two programs (Tables 6 and 7).
+package main
+
+import (
+	"fmt"
+
+	"rdgc/internal/bench/boyer"
+	"rdgc/internal/gc/hybrid"
+	"rdgc/internal/heap"
+	"rdgc/internal/lifetime"
+)
+
+func main() {
+	for _, shared := range []bool{false, true} {
+		p := boyer.New(2, shared)
+		h := heap.New(heap.WithCensus())
+		c := hybrid.New(h, 8192, 8, 65536, hybrid.WithGrowth())
+
+		const epoch = 62500 // 500,000 bytes
+		tr := lifetime.NewTracker(h, epoch)
+
+		if err := p.Run(h); err != nil {
+			fmt.Println(p.Name(), "failed:", err)
+			return
+		}
+
+		st := c.GCStats()
+		a, b := c.RemsetLens()
+		fmt.Printf("== %s under %s\n", p.Name(), c.Name())
+		fmt.Printf("   allocated %.2f Mwords, %d rewrites\n",
+			float64(h.Stats.WordsAllocated)/1e6, p.RewriteCount)
+		fmt.Printf("   %d collections (%d non-predictive), %d words copied, mark/cons %.3f\n",
+			st.Collections, st.MajorCollections, st.WordsCopied, st.MarkCons(&h.Stats))
+		fmt.Printf("   remembered sets: %d into-nursery, %d young-to-old; peak %d\n",
+			a, b, st.RemsetPeak)
+
+		fmt.Println("   survival by age (500,000-byte epochs):")
+		for _, r := range lifetime.SurvivalTable(tr.Snapshots(), epoch, 10) {
+			if r.Live < 1000 {
+				continue
+			}
+			fmt.Printf("     %s\n", r.String())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module rdgc
+
+go 1.22

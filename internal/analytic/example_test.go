@@ -1,0 +1,38 @@
+package analytic_test
+
+import (
+	"fmt"
+
+	"rdgc/internal/analytic"
+)
+
+// Corollary 5 in action: at an inverse load factor of 3.5 with a quarter of
+// the heap devoted to the uncollected young generation, the non-predictive
+// collector does less than half the work of a non-generational collector —
+// under a lifetime model where no heuristic can predict anything.
+func ExampleRelative() {
+	fmt.Printf("non-generational mark/cons: %.3f\n", analytic.NonGenerationalMarkCons(3.5))
+	fmt.Printf("non-predictive mark/cons:   %.3f\n", analytic.MarkCons(0.25, 3.5))
+	fmt.Printf("relative overhead:          %.3f\n", analytic.Relative(0.25, 3.5))
+	// Output:
+	// non-generational mark/cons: 0.400
+	// non-predictive mark/cons:   0.189
+	// relative overhead:          0.472
+}
+
+// Equation (1): the live population at equilibrium is about 1.4427 times
+// the half-life.
+func ExampleEquilibriumLive() {
+	fmt.Printf("%.0f\n", analytic.EquilibriumLive(1024))
+	// Output: 1477
+}
+
+// Theorem 4's hypotheses hold for small g and fail toward g = 1/2, where
+// Figure 1 switches from thin (exact) to thick (lower bound) lines.
+func ExampleTheorem4Holds() {
+	fmt.Println(analytic.Theorem4Holds(0.1, 3))
+	fmt.Println(analytic.Theorem4Holds(0.5, 3))
+	// Output:
+	// true
+	// false
+}

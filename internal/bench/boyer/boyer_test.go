@@ -1,0 +1,172 @@
+package boyer
+
+import (
+	"testing"
+
+	"rdgc/internal/gc/semispace"
+	"rdgc/internal/heap"
+	"rdgc/internal/sexp"
+)
+
+func newHeap(words int) *heap.Heap {
+	h := heap.New()
+	semispace.New(h, words, semispace.WithExpansion(3))
+	return h
+}
+
+func TestUnify(t *testing.T) {
+	p := New(1, false)
+	h := newHeap(1 << 16)
+	p.h = h
+	s := h.Scope()
+	defer s.Close()
+
+	term := sexp.MustReadString(h, "(plus (plus a b) c)")
+	pat := sexp.MustReadString(h, "(plus (plus x y) z)")
+	ok, subst := p.onewayUnify(term, pat)
+	if !ok {
+		t.Fatal("unification failed")
+	}
+	if got := sexp.Print(h, subst); got != "((z . c) (y . b) (x . a))" {
+		t.Errorf("subst = %s", got)
+	}
+
+	// Repeated variables must demand equal subterms.
+	pat2 := sexp.MustReadString(h, "(difference x x)")
+	if ok, _ := p.onewayUnify(sexp.MustReadString(h, "(difference q q)"), pat2); !ok {
+		t.Error("(difference q q) should match (difference x x)")
+	}
+	if ok, _ := p.onewayUnify(sexp.MustReadString(h, "(difference q r)"), pat2); ok {
+		t.Error("(difference q r) should not match (difference x x)")
+	}
+
+	// Operator mismatch.
+	if ok, _ := p.onewayUnify(sexp.MustReadString(h, "(times a b)"), pat); ok {
+		t.Error("times should not match plus")
+	}
+}
+
+func TestApplySubst(t *testing.T) {
+	p := New(1, false)
+	h := newHeap(1 << 16)
+	p.h = h
+	s := h.Scope()
+	defer s.Close()
+	alist := sexp.MustReadString(h, "((x . (g a)) (y . b))")
+	term := sexp.MustReadString(h, "(f x (h y) x)")
+	got := sexp.Print(h, p.applySubst(alist, term))
+	// Operators f and h are untouched; x and y are substituted.
+	if got != "(f (g a) (h b) (g a))" {
+		t.Errorf("applySubst = %s", got)
+	}
+}
+
+func TestRewriteNormalizesArithmetic(t *testing.T) {
+	p := New(1, false)
+	h := newHeap(1 << 18)
+	p.h = h
+	p.setup()
+	s := h.Scope()
+	defer s.Close()
+
+	cases := []struct{ in, want string }{
+		{"(plus (plus a b) c)", "(plus a (plus b c))"},
+		{"(plus a (zero))", "(fix a)"},
+		{"(difference q q)", "(zero)"},
+		{"(not p)", "(if p (f) (t))"},
+		{"(equal q q)", "(t)"},
+		{"(append (append a b) c)", "(append a (append b c))"},
+	}
+	for _, c := range cases {
+		got := sexp.Print(h, p.rewrite(sexp.MustReadString(h, c.in)))
+		if got != c.want {
+			t.Errorf("rewrite %s = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTautologyChecker(t *testing.T) {
+	p := New(1, false)
+	h := newHeap(1 << 18)
+	p.h = h
+	p.setup()
+	s := h.Scope()
+	defer s.Close()
+
+	taut := []string{
+		"(t)",
+		"(implies p p)",
+		"(or p (not p))",
+		"(implies (and p q) p)",
+		"(implies (and (implies p q) (implies q r)) (implies p r))",
+	}
+	for _, src := range taut {
+		if !p.tautp(sexp.MustReadString(h, src)) {
+			t.Errorf("%s not proved", src)
+		}
+	}
+	notTaut := []string{
+		"(f)",
+		"p",
+		"(implies p q)",
+		"(and p (not p))",
+	}
+	for _, src := range notTaut {
+		if p.tautp(sexp.MustReadString(h, src)) {
+			t.Errorf("%s wrongly proved", src)
+		}
+	}
+}
+
+func TestRunProvesTheorem(t *testing.T) {
+	for _, cfg := range []struct {
+		n      int
+		shared bool
+	}{{1, false}, {1, true}, {2, false}, {2, true}} {
+		p := New(cfg.n, cfg.shared)
+		h := newHeap(1 << 16)
+		if err := p.Run(h); err != nil {
+			t.Errorf("%s: %v", p.Name(), err)
+		}
+	}
+}
+
+func TestSharedConsingAllocatesLess(t *testing.T) {
+	run := func(shared bool) uint64 {
+		p := New(2, shared)
+		h := newHeap(1 << 16)
+		if err := p.Run(h); err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		return h.Stats.WordsAllocated
+	}
+	n := run(false)
+	s := run(true)
+	if s >= n {
+		t.Errorf("sboyer allocated %d words, nboyer %d; shared consing should allocate less", s, n)
+	}
+}
+
+func TestScalingGrowsWork(t *testing.T) {
+	alloc := make([]uint64, 0, 3)
+	for n := 1; n <= 3; n++ {
+		p := New(n, false)
+		h := newHeap(1 << 16)
+		if err := p.Run(h); err != nil {
+			t.Fatalf("scale %d: %v", n, err)
+		}
+		alloc = append(alloc, h.Stats.WordsAllocated)
+	}
+	if !(alloc[0] < alloc[1] && alloc[1] < alloc[2]) {
+		t.Errorf("allocation not increasing with scale: %v", alloc)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if got := New(2, false).Name(); got != "nboyer2" {
+		t.Errorf("Name = %s", got)
+	}
+	if got := New(3, true).Name(); got != "sboyer3" {
+		t.Errorf("Name = %s", got)
+	}
+}

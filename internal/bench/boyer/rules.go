@@ -1,0 +1,100 @@
+package boyer
+
+// The lemma base. The original Boyer benchmark installs ~100 lemmas on
+// property lists; nboyer replaces the property lists with a faster table
+// but keeps the lemmas. This reproduction ships a curated subset chosen so
+// that (a) every rule the classic test theorem actually fires is present,
+// (b) rewriting terminates on the test terms (no commutativity rules), and
+// (c) the arithmetic and list lemmas generate the deep subtree-rewriting
+// work responsible for the nboyer storage profile of Figure 3. The
+// substitution instance and scaling are in boyer.go.
+const lemmaText = `
+; --- propositional connectives (these drive the tautology check) ---
+(equal (and p q) (if p (if q (t) (f)) (f)))
+(equal (or p q) (if p (t) (if q (t) (f))))
+(equal (not p) (if p (f) (t)))
+(equal (implies p q) (if p (if q (t) (f)) (t)))
+(equal (iff x y) (and (implies x y) (implies y x)))
+(equal (if (if a b c) d e) (if a (if b d e) (if c d e)))
+
+; --- equality ---
+(equal (equal x x) (t))
+(equal (equal (plus a b) (zero)) (and (zerop a) (zerop b)))
+(equal (equal (zero) (difference x y)) (not (lessp y x)))
+(equal (equal (plus a b) (plus a c)) (equal (fix b) (fix c)))
+(equal (eqp x y) (equal (fix x) (fix y)))
+
+; --- arithmetic normalization ---
+(equal (plus (plus x y) z) (plus x (plus y z)))
+(equal (plus x (zero)) (fix x))
+(equal (plus x (add1 y)) (add1 (plus x y)))
+(equal (times (times x y) z) (times x (times y z)))
+(equal (times x (plus y z)) (plus (times x y) (times x z)))
+(equal (times x (zero)) (zero))
+(equal (times x (add1 y)) (plus x (times x y)))
+(equal (difference x x) (zero))
+(equal (difference (plus x y) x) (fix y))
+(equal (difference (plus y x) x) (fix y))
+(equal (difference (add1 (plus y z)) z) (add1 y))
+(equal (fix (fix x)) (fix x))
+(equal (fix (plus x y)) (plus x y))
+(equal (fix (zero)) (zero))
+
+; --- order relations ---
+(equal (greatereqp x y) (not (lessp x y)))
+(equal (greaterp x y) (lessp y x))
+(equal (lesseqp x y) (not (lessp y x)))
+(equal (lessp (plus x y) (plus x z)) (lessp y z))
+(equal (lessp x x) (f))
+(equal (lessp (remainder x y) y) (not (zerop y)))
+(equal (lessp (quotient i j) i) (and (not (zerop i)) (or (zerop j) (not (equal j (add1 (zero)))))))
+
+; --- remainder/quotient ---
+(equal (remainder x x) (zero))
+(equal (remainder (zero) x) (zero))
+(equal (remainder y (add1 (zero))) (zero))
+
+; --- lists ---
+(equal (append (append x y) z) (append x (append y z)))
+(equal (append (nil) x) x)
+(equal (reverse (append a b)) (append (reverse b) (reverse a)))
+(equal (reverse (reverse x)) (shape x))
+(equal (length (append a b)) (plus (length a) (length b)))
+(equal (length (reverse x)) (length x))
+(equal (length (cons x y)) (add1 (length y)))
+(equal (length (nil)) (zero))
+(equal (member a (append b c)) (or (member a b) (member a c)))
+(equal (member a (reverse b)) (member a b))
+(equal (member x (cons y z)) (or (equal x y) (member x z)))
+(equal (member x (nil)) (f))
+(equal (flatten (cons x y)) (append (flatten x) (flatten y)))
+(equal (assignment x (append a b)) (if (assignedp x a) (assignment x a) (assignment x b)))
+
+; --- odds and ends from the original base that the big terms can reach ---
+(equal (zerop (zero)) (t))
+(equal (zerop (add1 x)) (f))
+(equal (countps l pred) (countps-loop l pred (zero)))
+(equal (fact i) (fact-loop i 1))
+(equal (falsify x) (falsify1 (normalize x) (nil)))
+(equal (prime x) (and (not (zerop x)) (not (equal x (add1 (zero)))) (prime1 x (decr x))))
+`
+
+// theoremText is the classic test instance: transitivity of implication
+// over five propositional variables.
+const theoremText = `
+(implies (and (implies x y)
+              (and (implies y z)
+                   (and (implies z u)
+                        (implies u w))))
+         (implies x w))
+`
+
+// substText binds the propositional variables to the classic "big" terms
+// whose rewriting produces the benchmark's allocation behaviour.
+const substText = `
+((x . (f (plus (plus a b) (plus c (zero)))))
+ (y . (f (times (times a b) (plus c d))))
+ (z . (f (reverse (append (append a b) (nil)))))
+ (u . (equal (plus a b) (difference x y)))
+ (w . (lessp (remainder a b) (member a (length b)))))
+`

@@ -1,0 +1,114 @@
+package dynamicw
+
+import (
+	"testing"
+
+	"rdgc/internal/gc/semispace"
+	"rdgc/internal/heap"
+	"rdgc/internal/lifetime"
+)
+
+func small(phases int) *Prog {
+	p := New(phases)
+	p.PhaseWords = 30000
+	return p
+}
+
+func TestRunCompletes(t *testing.T) {
+	h := heap.New()
+	semispace.New(h, 1<<16, semispace.WithExpansion(3))
+	p := small(2)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if p.Checksum == 0 {
+		t.Error("no checksum")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (uint64, uint64) {
+		h := heap.New()
+		semispace.New(h, 1<<16, semispace.WithExpansion(3))
+		p := small(2)
+		if err := p.Run(h); err != nil {
+			t.Fatal(err)
+		}
+		return p.Checksum, h.Stats.WordsAllocated
+	}
+	c1, a1 := run()
+	c2, a2 := run()
+	if c1 != c2 || a1 != a2 {
+		t.Error("two identical runs diverged")
+	}
+}
+
+func TestMassExtinction(t *testing.T) {
+	// After Run returns, everything the phases built must be garbage.
+	h := heap.New(heap.WithCensus())
+	c := semispace.New(h, 1<<16, semispace.WithExpansion(3))
+	p := small(1)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	c.Collect()
+	if live := c.Live(); live > 100 {
+		t.Errorf("live after run = %d words, want ~0 (mass extinction)", live)
+	}
+}
+
+func TestPhaseSurvivalIsHigh(t *testing.T) {
+	// Within a phase, Table 4 says survival per epoch is 91-99%. Check the
+	// age classes our attrition model controls stay in (and near) that band.
+	h := heap.New(heap.WithCensus())
+	semispace.New(h, 1<<18, semispace.WithExpansion(3))
+	p := New(1)            // full-size single phase, as in Figure 2 / Table 4
+	epoch := uint64(12500) // 100,000 bytes
+	tr := lifetime.NewTracker(h, epoch)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	rows := lifetime.SurvivalTable(tr.Snapshots(), epoch, 9)
+	checked := 0
+	for _, r := range rows[1:9] { // skip youngest (mixed) and open-ended rows
+		if r.Live < 5000 {
+			continue
+		}
+		checked++
+		if rate := r.Rate(); rate < 0.88 {
+			t.Errorf("%s: rate %.2f below Table 4's band", r.String(), rate)
+		}
+	}
+	if checked < 4 {
+		t.Errorf("only %d age classes had enough data", checked)
+	}
+}
+
+func TestIteratedSurvivalDecreasesWithAge(t *testing.T) {
+	// Table 5: over the full iterated run (500,000-byte epochs), the
+	// oldest objects have the lowest survival rates.
+	h := heap.New(heap.WithCensus())
+	semispace.New(h, 1<<18, semispace.WithExpansion(3))
+	p := New(10)
+	epoch := uint64(62500) // 500,000 bytes
+	tr := lifetime.NewTracker(h, epoch)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	rows := lifetime.SurvivalTable(tr.Snapshots(), epoch, 4)
+	// The old must survive worse than the young — the inversion of the
+	// strong generational hypothesis (paper: 59%, 23%, 1%).
+	young, old := rows[0], rows[2]
+	if young.Live == 0 || old.Live == 0 {
+		t.Fatal("not enough data in survival table")
+	}
+	if !(old.Rate() < young.Rate()-0.1) {
+		t.Errorf("old survival %.2f not clearly below young %.2f",
+			old.Rate(), young.Rate())
+	}
+	// Nothing outlives a phase by much: the oldest class is a wipeout.
+	oldest := rows[3]
+	if oldest.Live > 0 && oldest.Rate() > 0.1 {
+		t.Errorf("oldest class survives at %.2f, want near 0 (mass extinction)", oldest.Rate())
+	}
+}

@@ -1,0 +1,74 @@
+package dyninfer
+
+// The analyzed corpus. The paper's 10dynamic analyzes the inference's own
+// source; this corpus is a small, deliberately *monomorphic* library (the
+// unifier has no let-polymorphism, so each function is used at one type)
+// with enough recursion, higher-order structure, and quoted data to build
+// substantial constraint graphs.
+const corpus = `
+(define length1
+  (lambda (l)
+    (if (null? l) 0 (+ 1 (length1 (cdr l))))))
+
+(define sum
+  (lambda (l)
+    (if (null? l) 0 (+ (car l) (sum (cdr l))))))
+
+(define build
+  (lambda (n)
+    (if (zero? n) (quote ()) (cons n (build (- n 1))))))
+
+(define addall
+  (lambda (n l)
+    (if (null? l) l (cons (+ n (car l)) (addall n (cdr l))))))
+
+(define fib
+  (lambda (n)
+    (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2))))))
+
+(define compose-num
+  (lambda (f g)
+    (lambda (x) (f (g x)))))
+
+(define twice
+  (lambda (x) (* x 2)))
+
+(define inc
+  (lambda (x) (+ x 1)))
+
+(define pipeline (compose-num twice inc))
+
+(define zip-sums
+  (lambda (xs ys)
+    (if (null? xs)
+        (quote ())
+        (cons (+ (car xs) (car ys)) (zip-sums (cdr xs) (cdr ys))))))
+
+(define averages
+  (lambda (l n)
+    (let ((total (sum l)) (count n))
+      (+ total count))))
+
+(define run
+  (lambda (n)
+    (let ((data (build n)))
+      (+ (sum (addall 3 data))
+         (+ (averages data n)
+            (+ (pipeline n)
+               (+ (fib 9)
+                  (+ (length1 (zip-sums data data)) 0))))))))
+
+(run 24)
+(run 25)
+
+(define table
+  (quote ((alpha 1 2 3)
+          (beta 4 5 6 (gamma 7 8))
+          (delta (epsilon 9) 10)
+          (zeta 11 12 13 14 15))))
+
+(define nested
+  (quote (a (b (c (d (e (f (g (h (i (j 1)))))))))
+          (k (l (m (n (o 2)))))
+          (p (q (r 3))))))
+`

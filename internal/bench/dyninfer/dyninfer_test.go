@@ -1,0 +1,175 @@
+package dyninfer
+
+import (
+	"testing"
+
+	"rdgc/internal/gc/semispace"
+	"rdgc/internal/heap"
+	"rdgc/internal/lifetime"
+	"rdgc/internal/sexp"
+)
+
+func newHeap() *heap.Heap {
+	h := heap.New()
+	semispace.New(h, 1<<16, semispace.WithExpansion(3))
+	return h
+}
+
+func TestRunIsCleanOnCorpus(t *testing.T) {
+	h := newHeap()
+	p := New(2)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if p.Unifications < 100 {
+		t.Errorf("only %d unifications; the corpus should be richer", p.Unifications)
+	}
+	if p.Vars < 100 {
+		t.Errorf("only %d type variables", p.Vars)
+	}
+}
+
+func TestInferenceTypesSimplePrograms(t *testing.T) {
+	h := newHeap()
+	p := &Prog{h: h}
+	s := h.Scope()
+	defer s.Close()
+
+	cases := []struct {
+		src  string
+		want string // constructor name of the representative, "" for var
+	}{
+		{"42", "num"},
+		{"(+ 1 2)", "num"},
+		{"(cons 1 2)", "pair"},
+		{"(lambda (x) x)", "fun"},
+		{"(quote hello)", "sym"},
+		{"(null? 1)", "bool"},
+		{"(if (null? 1) 3 4)", "num"},
+		{"(car (cons 1 2))", "num"},
+		{"(let ((x 5)) x)", "num"},
+	}
+	for _, c := range cases {
+		s2 := h.Scope()
+		expr := sexp.MustReadString(h, c.src)
+		typ := p.payload(p.find(p.infer(expr, p.emptyEnv())))
+		got := ""
+		if h.IsPair(typ) {
+			got = h.SymbolName(h.Car(typ))
+		}
+		if got != c.want {
+			t.Errorf("%s: inferred %q, want %q", c.src, got, c.want)
+		}
+		s2.Close()
+	}
+	if p.Conflicts != 0 {
+		t.Errorf("%d conflicts on well-typed expressions", p.Conflicts)
+	}
+}
+
+func TestInferenceDetectsConflicts(t *testing.T) {
+	h := newHeap()
+	p := &Prog{h: h}
+	s := h.Scope()
+	defer s.Close()
+
+	// (if b 1 (cons 1 2)) forces num ~ pair.
+	expr := sexp.MustReadString(h, "(if (null? 0) 1 (cons 1 2))")
+	p.infer(expr, p.emptyEnv())
+	if p.Conflicts == 0 {
+		t.Error("num ~ pair unification did not conflict")
+	}
+}
+
+func TestUnionFindBehaviour(t *testing.T) {
+	h := newHeap()
+	p := &Prog{h: h}
+	s := h.Scope()
+	defer s.Close()
+
+	a, b, c := p.freshVar(), p.freshVar(), p.freshVar()
+	if !p.unify(a, b) || !p.unify(b, c) {
+		t.Fatal("var-var unification failed")
+	}
+	num := p.ctor("num")
+	if !p.unify(a, num) {
+		t.Fatal("var-ctor unification failed")
+	}
+	// All three variables must now resolve to num.
+	for i, v := range []heap.Ref{a, b, c} {
+		r := p.payload(p.find(v))
+		if !h.IsPair(r) || h.SymbolName(h.Car(r)) != "num" {
+			t.Errorf("var %d did not resolve to num", i)
+		}
+	}
+	// And conflicting constructors must be caught.
+	if p.unify(c, p.ctor("bool")) {
+		t.Error("num ~ bool did not conflict")
+	}
+}
+
+func TestIterationsAreMassExtinctions(t *testing.T) {
+	// After Run, every iteration's constraint graph is garbage.
+	h := heap.New(heap.WithCensus())
+	c := semispace.New(h, 1<<16, semispace.WithExpansion(3))
+	p := New(3)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	c.Collect()
+	if live := c.Live(); live > 2000 {
+		t.Errorf("live after run = %d words; constraint graphs leaked", live)
+	}
+}
+
+func TestPhaseProfile(t *testing.T) {
+	// The live-storage profile of the iterated inference has the sawtooth
+	// shape of Figure 2: each iteration's peak collapses at its end.
+	h := heap.New(heap.WithCensus())
+	semispace.New(h, 1<<18, semispace.WithExpansion(3))
+	perIter := measureOneIteration(t)
+	tr := lifetime.NewTracker(h, perIter/8)
+	p := New(4)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	prof := lifetime.BuildProfile(tr.Finish(), perIter/8, 6)
+	var peak, trough uint64 = 0, ^uint64(0)
+	for _, r := range prof.Rows[1:] {
+		if r.TotalLive > peak {
+			peak = r.TotalLive
+		}
+		if r.TotalLive < trough {
+			trough = r.TotalLive
+		}
+	}
+	if peak < 4*trough {
+		t.Errorf("no sawtooth: peak %d vs trough %d", peak, trough)
+	}
+}
+
+func measureOneIteration(t *testing.T) uint64 {
+	t.Helper()
+	h := newHeap()
+	p := New(1)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	return h.Stats.WordsAllocated
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (uint64, int) {
+		h := newHeap()
+		p := New(2)
+		if err := p.Run(h); err != nil {
+			t.Fatal(err)
+		}
+		return h.Stats.WordsAllocated, p.Unifications
+	}
+	a1, u1 := run()
+	a2, u2 := run()
+	if a1 != a2 || u1 != u2 {
+		t.Error("inference not deterministic")
+	}
+}

@@ -1,0 +1,66 @@
+package lattice
+
+import (
+	"testing"
+
+	"rdgc/internal/gc/semispace"
+	"rdgc/internal/heap"
+)
+
+func TestChainAndProduct(t *testing.T) {
+	c2 := Chain(2)
+	if !c2.Leq(0, 1) || c2.Leq(1, 0) || !c2.Leq(0, 0) {
+		t.Error("Chain(2) order wrong")
+	}
+	sq := Product(c2, c2)
+	if sq.N != 4 {
+		t.Fatalf("product size %d", sq.N)
+	}
+	// (0,0) <= (1,1); (0,1) and (1,0) incomparable.
+	if !sq.Leq(0, 3) {
+		t.Error("bottom not below top")
+	}
+	if sq.Leq(1, 2) || sq.Leq(2, 1) {
+		t.Error("incomparable elements compared")
+	}
+}
+
+func TestCountMonotoneGoKnownValues(t *testing.T) {
+	// Monotone maps from a poset P to Chain(2) are exactly the order
+	// ideals (downsets) of P. The 2x2 grid has 6; the 2-cube has 20.
+	if got := CountMonotoneGo(Power(Chain(2), 2), Chain(2)); got != 6 {
+		t.Errorf("maps(2x2 -> 2) = %d, want 6", got)
+	}
+	if got := CountMonotoneGo(Power(Chain(2), 3), Chain(2)); got != 20 {
+		t.Errorf("maps(2^3 -> 2) = %d, want 20 (Dedekind number M(3))", got)
+	}
+	// Maps from Chain(2) to Chain(n): pairs i <= j: n(n+1)/2.
+	if got := CountMonotoneGo(Chain(2), Chain(4)); got != 10 {
+		t.Errorf("maps(chain2 -> chain4) = %d, want 10", got)
+	}
+}
+
+func TestRunAgreesWithReference(t *testing.T) {
+	h := heap.New()
+	semispace.New(h, 1<<16, semispace.WithExpansion(3))
+	p := New(4, 3)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if p.Count != CountMonotoneGo(Power(Chain(2), 4), Chain(3)) {
+		t.Errorf("heap count %d disagrees with reference", p.Count)
+	}
+	if h.Stats.WordsAllocated == 0 {
+		t.Error("no allocation recorded")
+	}
+}
+
+func TestRunSurvivesSmallHeap(t *testing.T) {
+	// The search must tolerate constant collection pressure.
+	h := heap.New()
+	semispace.New(h, 2048, semispace.WithExpansion(2))
+	p := New(4, 2)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+}

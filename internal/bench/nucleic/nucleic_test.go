@@ -1,0 +1,60 @@
+package nucleic
+
+import (
+	"testing"
+
+	"rdgc/internal/gc/semispace"
+	"rdgc/internal/heap"
+)
+
+func TestRunFindsSolutions(t *testing.T) {
+	h := heap.New()
+	semispace.New(h, 1<<16)
+	p := New(10, 2)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if p.Solutions < 1 {
+		t.Error("no solutions")
+	}
+}
+
+func TestAlwaysFeasibleBaseline(t *testing.T) {
+	// The c=0 conformation is always accepted, so even a domain of size 1
+	// yields exactly one solution.
+	h := heap.New()
+	semispace.New(h, 1<<16)
+	p := New(8, 1)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+	if p.Solutions != 1 {
+		t.Errorf("solutions = %d, want 1", p.Solutions)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	run := func() (int, uint64) {
+		h := heap.New()
+		semispace.New(h, 1<<16)
+		p := New(10, 2)
+		if err := p.Run(h); err != nil {
+			t.Fatal(err)
+		}
+		return p.Solutions, h.Stats.WordsAllocated
+	}
+	s1, a1 := run()
+	s2, a2 := run()
+	if s1 != s2 || a1 != a2 {
+		t.Error("nucleic not deterministic")
+	}
+}
+
+func TestSmallHeapPressure(t *testing.T) {
+	h := heap.New()
+	semispace.New(h, 4096)
+	p := New(8, 2)
+	if err := p.Run(h); err != nil {
+		t.Fatal(err)
+	}
+}

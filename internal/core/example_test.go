@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+
+	"rdgc/internal/core"
+	"rdgc/internal/heap"
+)
+
+// The basic shape of using the non-predictive collector: create a heap,
+// install the collector, and allocate through GC-safe handles.
+func Example() {
+	h := heap.New()
+	c := core.New(h, 8, 4096) // 8 steps of 4096 words
+
+	s := h.Scope()
+	defer s.Close()
+
+	list := h.Null()
+	for i := 3; i >= 1; i-- {
+		list = h.Cons(h.Fix(int64(i)), list)
+	}
+	c.Collect()
+
+	fmt.Println("length:", h.ListLen(list))
+	fmt.Println("head:", h.FixVal(h.Car(list)))
+	fmt.Println("k:", c.Steps().K())
+	// Output:
+	// length: 3
+	// head: 1
+	// k: 8
+}
+
+// Policies plug into the collector: FixedJ reproduces Table 1's fixed
+// tuning parameter, ZeroJ degenerates to non-generational stop-and-copy.
+func ExampleFixedJ() {
+	h := heap.New()
+	c := core.New(h, 7, 1024, core.WithPolicy(core.FixedJ(1)))
+	fmt.Println(c.J())
+	// Output: 1
+}
+
+func ExampleRecommended() {
+	// With l empty youngest steps, the paper's §8.1 recommendation is
+	// j = ⌊l/2⌋, capped at k/2.
+	fmt.Println(core.Recommended{}.ChooseJ(6, 8))
+	fmt.Println(core.Recommended{}.ChooseJ(8, 8))
+	// Output:
+	// 3
+	// 4
+}

@@ -1,0 +1,88 @@
+package core
+
+// JPolicy chooses the tuning parameter j after each non-predictive
+// collection. The paper (§8.1) views j not as a prediction of future
+// behaviour but as a response to what the mutator has done; any policy is
+// sound because j only controls which steps the next collection skips.
+type JPolicy interface {
+	// ChooseJ picks the new j given the number of empty youngest steps
+	// (the paper's l) and the step count k.
+	ChooseJ(emptyYoungest, k int) int
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// Recommended is the paper's suggested policy: j = ⌊l/2⌋ where l is the
+// greatest number such that steps 1..l are empty, additionally capped at
+// k/2. Steps 1..j are then empty, which keeps the remembered set empty
+// after every collection and guarantees cyclic garbage spanning the
+// collected region is reclaimed (§8.2).
+type Recommended struct{}
+
+// ChooseJ implements JPolicy.
+func (Recommended) ChooseJ(emptyYoungest, k int) int {
+	j := emptyYoungest / 2
+	if j > k/2 {
+		j = k / 2
+	}
+	return j
+}
+
+// Name implements JPolicy.
+func (Recommended) Name() string { return "j=floor(l/2)" }
+
+// FixedJ always chooses the same j (clamped to k-1), as in the paper's
+// Table 1 where j is fixed at 1. With a fixed j the young steps need not be
+// empty after a collection, so the collector performs the situation-4
+// remembered-set rebuild.
+type FixedJ int
+
+// ChooseJ implements JPolicy.
+func (f FixedJ) ChooseJ(_, k int) int {
+	j := int(f)
+	if j > k-1 {
+		j = k - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	return j
+}
+
+// Name implements JPolicy.
+func (f FixedJ) Name() string { return "fixed j" }
+
+// ZeroJ always collects the whole step heap: the non-predictive collector
+// degenerates to a non-generational stop-and-copy collector. Useful as an
+// ablation baseline.
+type ZeroJ struct{}
+
+// ChooseJ implements JPolicy.
+func (ZeroJ) ChooseJ(_, _ int) int { return 0 }
+
+// Name implements JPolicy.
+func (ZeroJ) Name() string { return "j=0" }
+
+// FractionJ chooses j = ⌊g·k⌋ for a fixed fraction g, ignoring emptiness —
+// the policy the Section 5 analysis assumes when it sets f = g. It lets the
+// experiments sweep the generation-size axis of Figure 1 directly.
+type FractionJ float64
+
+// ChooseJ implements JPolicy.
+func (g FractionJ) ChooseJ(emptyYoungest, k int) int {
+	j := int(float64(g) * float64(k))
+	if j > emptyYoungest {
+		// Keep steps 1..j empty so f = g, as Theorem 4 assumes.
+		j = emptyYoungest
+	}
+	if j > k-1 {
+		j = k - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	return j
+}
+
+// Name implements JPolicy.
+func (g FractionJ) Name() string { return "j=g*k" }

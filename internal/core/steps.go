@@ -1,0 +1,314 @@
+// Package core implements the paper's primary contribution: the
+// non-predictive generational garbage collector of Section 4.
+//
+// The collector divides heap storage into k steps of equal size. Step 1 is
+// the youngest and step k the oldest; all allocation occurs in the
+// highest-numbered step that has free space, so the steps fill from k down
+// to 1. A tuning parameter j determines how many of the youngest steps are
+// *not* collected: when every step is full, steps j+1 through k are
+// collected as a single generation, survivors are placed in the
+// highest-numbered new step with free space, and the steps are renamed —
+// steps j+1..k become the new steps 1..k-j and the old steps 1..j become
+// the new steps k-j+1..k. The collector never inspects object ages; it is
+// "non-predictive" because no lifetime heuristic enters any decision.
+package core
+
+import (
+	"fmt"
+
+	"rdgc/internal/heap"
+)
+
+// Steps is the step machinery shared by the standalone non-predictive
+// collector and the Larceny-style hybrid collector: the ordered step list,
+// the shadow spaces that copying collections evacuate into, the logical
+// renaming, and the j bookkeeping.
+type Steps struct {
+	H         *heap.Heap
+	StepWords int
+
+	// steps in logical order: index 0 is step 1 (youngest), index k-1 is
+	// step k (oldest).
+	steps   []*heap.Space
+	shadows []*heap.Space
+	// pos maps SpaceID to logical position, or -1 for non-step spaces.
+	pos []int32
+
+	j        int
+	allocIdx int // highest position with free space, or -1 when all full
+}
+
+// NewSteps creates k steps (and k shadow spaces) of stepWords words each.
+func NewSteps(h *heap.Heap, k, stepWords int) *Steps {
+	if k < 2 {
+		panic("core: need at least 2 steps")
+	}
+	st := &Steps{H: h, StepWords: stepWords}
+	for i := 0; i < k; i++ {
+		st.steps = append(st.steps, h.NewSpace(fmt.Sprintf("np-step-%d", i), stepWords))
+	}
+	for i := 0; i < k; i++ {
+		st.shadows = append(st.shadows, h.NewSpace(fmt.Sprintf("np-shadow-%d", i), stepWords))
+	}
+	st.rebuildPos()
+	st.allocIdx = k - 1
+	return st
+}
+
+// K returns the number of steps.
+func (st *Steps) K() int { return len(st.steps) }
+
+// J returns the tuning parameter: steps 1..J are the uncollected young
+// generation.
+func (st *Steps) J() int { return st.j }
+
+// SetJ sets the tuning parameter. Values are clamped to [0, k-1]: at least
+// one step must be collectable.
+func (st *Steps) SetJ(j int) {
+	if j < 0 {
+		j = 0
+	}
+	if max := st.K() - 1; j > max {
+		j = max
+	}
+	st.j = j
+}
+
+// Step returns the space at logical position i (0-based: step i+1).
+func (st *Steps) Step(i int) *heap.Space { return st.steps[i] }
+
+func (st *Steps) rebuildPos() {
+	if n := len(st.H.Spaces); n > len(st.pos) {
+		st.pos = append(st.pos, make([]int32, n-len(st.pos))...)
+	}
+	for i := range st.pos {
+		st.pos[i] = -1
+	}
+	for i, s := range st.steps {
+		st.pos[s.ID] = int32(i)
+	}
+}
+
+// PosOf returns the logical position of the step that pointer w targets, or
+// -1 if w does not point into an active step.
+func (st *Steps) PosOf(w heap.Word) int {
+	id := heap.PtrSpace(w)
+	if int(id) >= len(st.pos) {
+		return -1
+	}
+	return int(st.pos[id])
+}
+
+// InOld reports whether pointer w targets the collected generation
+// (steps j+1 through k).
+func (st *Steps) InOld(w heap.Word) bool { return st.PosOf(w) >= st.j }
+
+// InYoung reports whether pointer w targets the uncollected young steps
+// (steps 1 through j).
+func (st *Steps) InYoung(w heap.Word) bool {
+	p := st.PosOf(w)
+	return p >= 0 && p < st.j
+}
+
+// FreeWords returns the free space across all steps.
+func (st *Steps) FreeWords() int {
+	n := 0
+	for _, s := range st.steps {
+		n += s.Free()
+	}
+	return n
+}
+
+// LiveStepWords returns the occupied words across all steps.
+func (st *Steps) LiveStepWords() int {
+	n := 0
+	for _, s := range st.steps {
+		n += s.Used()
+	}
+	return n
+}
+
+// EmptyYoungest returns the number of consecutive empty steps starting at
+// step 1 — the paper's l, from which the recommended j is ⌊l/2⌋ (§8.1).
+func (st *Steps) EmptyYoungest() int {
+	l := 0
+	for _, s := range st.steps {
+		if s.Used() != 0 {
+			break
+		}
+		l++
+	}
+	return l
+}
+
+// RecomputeAllocIdx repositions the allocation cursor at the
+// highest-numbered step with free space.
+func (st *Steps) RecomputeAllocIdx() {
+	for i := st.K() - 1; i >= 0; i-- {
+		if st.steps[i].Free() > 0 {
+			st.allocIdx = i
+			return
+		}
+	}
+	st.allocIdx = -1
+}
+
+// Bump allocates total words in the highest-numbered step that can hold
+// them, descending as steps fill. It reports failure when every step is
+// full, at which point the caller must collect.
+func (st *Steps) Bump(total int) (*heap.Space, int, bool) {
+	for st.allocIdx >= 0 {
+		s := st.steps[st.allocIdx]
+		if off, ok := s.Bump(total); ok {
+			return s, off, true
+		}
+		st.allocIdx--
+	}
+	return nil, 0, false
+}
+
+// FillTargets returns the steps with free space in promotion order:
+// highest-numbered first. The hybrid collector promotes nursery survivors
+// into these.
+func (st *Steps) FillTargets() []*heap.Space {
+	var out []*heap.Space
+	for i := st.allocIdx; i >= 0; i-- {
+		out = append(out, st.steps[i])
+	}
+	return out
+}
+
+// Collect performs one non-predictive collection: steps j+1..k (plus any
+// spaces matched by alsoFrom, e.g. the hybrid's nursery) are evacuated as a
+// single generation into shadow spaces, and the steps are renamed per
+// Section 4. extraRoots, if non-nil, is called with the evacuation function
+// so callers can treat remembered-set entries as roots. When the survivors
+// (plus promoted storage) overflow the k-j primary target steps, spare
+// shadows absorb them and the step count grows — permitted only with
+// allowGrow, otherwise the collection panics as a heap overflow.
+//
+// On return the collected spaces have become the new shadows, steps have
+// been renamed, and the allocation cursor is recomputed. The caller is
+// responsible for choosing a new j and rebuilding remembered sets.
+func (st *Steps) Collect(alsoFrom func(heap.Word) bool, extraRoots func(evac func(slot *heap.Word)), allowGrow bool) uint64 {
+	k, j := st.K(), st.j
+	nNew := k - j
+	primary := st.shadows[:nNew] // primary[i] becomes the new step at position i
+	spares := append([]*heap.Space{}, st.shadows[nNew:]...)
+
+	// Fill order: new step k-j first, descending — survivors sit directly
+	// below the renamed old steps, as in Table 1.
+	targets := make([]*heap.Space, 0, k)
+	for i := nNew - 1; i >= 0; i-- {
+		targets = append(targets, primary[i])
+	}
+	targets = append(targets, spares...)
+
+	inFrom := func(w heap.Word) bool {
+		if st.PosOf(w) >= j {
+			return true
+		}
+		return alsoFrom != nil && alsoFrom(w)
+	}
+	e := heap.NewEvacuator(st.H, inFrom, targets...)
+	if allowGrow {
+		e.Overflow = func(int) *heap.Space {
+			sp := st.H.NewSpace(fmt.Sprintf("np-spill-%d", len(st.H.Spaces)), st.StepWords)
+			spares = append(spares, sp)
+			return sp
+		}
+	}
+	st.H.VisitRoots(e.Evacuate)
+	if extraRoots != nil {
+		extraRoots(e.Evacuate)
+	}
+	e.Drain()
+
+	used := 0
+	for _, sp := range spares {
+		if sp.Used() > 0 {
+			used++
+		}
+	}
+	if used > 0 && !allowGrow {
+		panic(fmt.Sprintf("core: non-predictive heap overflow: survivors spilled into %d spare steps", used))
+	}
+
+	// Rename: spare-spill steps are youngest, then the primary targets,
+	// then the old steps 1..j as the new oldest steps.
+	newSteps := make([]*heap.Space, 0, k+used)
+	for i := used - 1; i >= 0; i-- {
+		newSteps = append(newSteps, spares[i])
+	}
+	newSteps = append(newSteps, primary...)
+	collected := st.steps[j:]
+	newSteps = append(newSteps, st.steps[:j]...)
+
+	newShadows := make([]*heap.Space, 0, k+used)
+	for _, s := range collected {
+		s.Reset()
+		newShadows = append(newShadows, s)
+	}
+	newShadows = append(newShadows, spares[used:]...)
+	for len(newShadows) < len(newSteps) {
+		newShadows = append(newShadows,
+			st.H.NewSpace(fmt.Sprintf("np-shadow-%d", len(newShadows)), st.StepWords))
+	}
+
+	st.steps, st.shadows = newSteps, newShadows
+	st.rebuildPos()
+	st.RecomputeAllocIdx()
+	if st.j > st.K()-1 {
+		st.j = st.K() - 1
+	}
+	return e.WordsCopied
+}
+
+// ResetAll empties every step (the hybrid's full collection promotes all
+// live storage to the static area, leaving the dynamic area blank).
+func (st *Steps) ResetAll() {
+	for _, s := range st.steps {
+		s.Reset()
+	}
+	st.allocIdx = st.K() - 1
+}
+
+// AddSteps inserts n empty steps at the young end, growing the heap without
+// disturbing the renaming invariants (new empty young steps are exactly the
+// post-collection state).
+func (st *Steps) AddSteps(n int) {
+	grown := make([]*heap.Space, 0, st.K()+n)
+	for i := 0; i < n; i++ {
+		grown = append(grown, st.H.NewSpace(fmt.Sprintf("np-step-grow-%d", len(st.H.Spaces)), st.StepWords))
+		st.shadows = append(st.shadows, st.H.NewSpace(fmt.Sprintf("np-shadow-grow-%d", len(st.H.Spaces)), st.StepWords))
+	}
+	st.steps = append(grown, st.steps...)
+	st.rebuildPos()
+	st.RecomputeAllocIdx()
+}
+
+// ScanYoungForOldPointers visits every object in steps 1..j and calls
+// remember on those containing a pointer into steps j+1..k. This rebuilds
+// the remembered set after a collection whose survivors landed in the young
+// steps (the paper's situation 4) — a no-op under the recommended j policy,
+// which keeps steps 1..j empty.
+func (st *Steps) ScanYoungForOldPointers(remember func(obj heap.Word)) {
+	for p := 0; p < st.j; p++ {
+		s := st.steps[p]
+		heap.WalkSpace(s, func(off int, hdr heap.Word) bool {
+			if heap.HeaderType(hdr) == heap.TFree {
+				return true
+			}
+			found := false
+			heap.ScanObject(s, off, func(slot *heap.Word) {
+				if !found && heap.IsPtr(*slot) && st.InOld(*slot) {
+					found = true
+				}
+			})
+			if found {
+				remember(heap.PtrWord(s.ID, off))
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,279 @@
+// Package decay implements the radioactive decay model of Section 2: every
+// live object's remaining lifetime is exponentially distributed with a
+// single half-life h, so an object's age carries no information about its
+// future — the property that defeats every lifetime-prediction heuristic.
+//
+// Time is measured in allocated objects, as in the paper. The workload
+// generator samples each new object's lifetime geometrically at birth
+// (memorylessness makes the two formulations identical) and severs the
+// object's root when its time arrives, leaving the garbage for whichever
+// collector manages the heap.
+package decay
+
+import (
+	"math"
+	"math/rand"
+
+	"rdgc/internal/heap"
+)
+
+// Model is the radioactive decay model with half-life H (in allocated
+// objects). For every live object, P(alive after t more allocations) =
+// 2^(−t/h).
+type Model struct {
+	H float64
+}
+
+// R returns the per-allocation survival probability r = 2^(−1/h).
+func (m Model) R() float64 { return math.Exp2(-1 / m.H) }
+
+// EquilibriumLive returns the expected number of live objects at
+// equilibrium, n = 1/(1−r) ≈ h/ln 2 ≈ 1.4427·h (equation 1).
+func (m Model) EquilibriumLive() float64 { return 1 / (1 - m.R()) }
+
+// Survival returns 2^(−t/h), the probability an object lives t more ticks.
+func (m Model) Survival(t float64) float64 { return math.Exp2(-t / m.H) }
+
+// SampleLifetime draws a lifetime (in allocations) from the geometric
+// distribution with survival rate r: the smallest t ≥ 1 with U > r^t.
+func (m Model) SampleLifetime(rng *rand.Rand) uint64 {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	t := math.Ceil(math.Log(u) / math.Log(m.R()))
+	if t < 1 {
+		t = 1
+	}
+	return uint64(t)
+}
+
+// death is a scheduled root severing.
+type death struct {
+	at   uint64
+	slot int
+}
+
+// deathQueue is a binary min-heap of deaths ordered by time.
+type deathQueue []death
+
+func (q *deathQueue) push(d death) {
+	*q = append(*q, d)
+	i := len(*q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if (*q)[parent].at <= (*q)[i].at {
+			break
+		}
+		(*q)[parent], (*q)[i] = (*q)[i], (*q)[parent]
+		i = parent
+	}
+}
+
+func (q *deathQueue) pop() death {
+	old := *q
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*q = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && (*q)[l].at < (*q)[small].at {
+			small = l
+		}
+		if r < n && (*q)[r].at < (*q)[small].at {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		(*q)[i], (*q)[small] = (*q)[small], (*q)[i]
+		i = small
+	}
+	return top
+}
+
+// Workload drives a heap with radioactive-decay allocation. Each live
+// object is held by exactly one global root slot; death clears the slot.
+// Objects are pairs (car = a fixnum serial, cdr = empty or a link), so each
+// object is ObjectWords words including its header.
+type Workload struct {
+	H     *heap.Heap
+	Model Model
+
+	rng   *rand.Rand
+	queue deathQueue
+
+	slots     []heap.Ref // global slots, one per potentially-live object
+	freeSlots []int
+	liveCount int
+
+	clock uint64 // objects allocated
+
+	// linkProb is the probability that a new object's cdr points to a
+	// random live object, used by the remembered-set growth experiment
+	// (§8.3). It perturbs liveness (a linked object stays reachable while
+	// its referrer lives), so mark/cons experiments leave it zero.
+	linkProb float64
+
+	// sizeMin/sizeMax, when set, allocate vectors with payloads drawn
+	// uniformly from [sizeMin, sizeMax] instead of pairs — the
+	// object-size ablation. The analysis of Section 5 is stated in words,
+	// so mark/cons ratios should not depend on the distribution.
+	sizeMin, sizeMax int
+
+	// infantProb mixes in infant mortality: with this probability a new
+	// object's lifetime is drawn with half-life infantH instead of H. At
+	// infantProb = 0 this is the pure radioactive decay model; at high
+	// values it approximates the weak generational hypothesis of §7 while
+	// the survivors still decay memorylessly.
+	infantProb float64
+	infantH    float64
+}
+
+// ObjectWords is the heap footprint of one workload object (header + car +
+// cdr) when census tracking is off.
+const ObjectWords = 3
+
+// Option configures a Workload.
+type Option func(*Workload)
+
+// WithLinking sets the probability that a new object references a random
+// live object.
+func WithLinking(p float64) Option { return func(w *Workload) { w.linkProb = p } }
+
+// WithSizes draws each object's payload uniformly from [min, max] words
+// (allocated as vectors) instead of fixed-size pairs.
+func WithSizes(min, max int) Option {
+	if min < 1 || max < min {
+		panic("decay: bad size range")
+	}
+	return func(w *Workload) { w.sizeMin, w.sizeMax = min, max }
+}
+
+// WithInfantMortality makes a fraction p of objects die with half-life
+// infantH (objects) instead of the model's H.
+func WithInfantMortality(p, infantH float64) Option {
+	if p < 0 || p > 1 || infantH <= 0 {
+		panic("decay: bad infant mortality parameters")
+	}
+	return func(w *Workload) { w.infantProb, w.infantH = p, infantH }
+}
+
+// AvgObjectWords returns the expected heap footprint of one object under
+// the configured size distribution (census tracking off).
+func (w *Workload) AvgObjectWords() float64 {
+	if w.sizeMax == 0 {
+		return ObjectWords
+	}
+	return 1 + float64(w.sizeMin+w.sizeMax)/2
+}
+
+// ExpectedLive returns the equilibrium live population (objects) under the
+// configured lifetime mixture, by Little's law: the mean lifetime.
+func (w *Workload) ExpectedLive() float64 {
+	long := w.Model.EquilibriumLive()
+	if w.infantProb == 0 {
+		return long
+	}
+	short := Model{H: w.infantH}.EquilibriumLive()
+	return w.infantProb*short + (1-w.infantProb)*long
+}
+
+func (w *Workload) sampleLifetime() uint64 {
+	if w.infantProb > 0 && w.rng.Float64() < w.infantProb {
+		return Model{H: w.infantH}.SampleLifetime(w.rng)
+	}
+	return w.Model.SampleLifetime(w.rng)
+}
+
+// NewWorkload creates a decay workload over heap h with the given
+// half-life (in objects) and deterministic seed.
+func NewWorkload(h *heap.Heap, halfLife float64, seed int64, opts ...Option) *Workload {
+	w := &Workload{
+		H:     h,
+		Model: Model{H: halfLife},
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Clock returns the number of objects allocated so far.
+func (w *Workload) Clock() uint64 { return w.clock }
+
+// LiveObjects returns the number of objects whose roots are still set.
+func (w *Workload) LiveObjects() int { return w.liveCount }
+
+// Step allocates one object with a sampled lifetime, after severing the
+// roots of every object whose death time has arrived.
+func (w *Workload) Step() {
+	for len(w.queue) > 0 && w.queue[0].at <= w.clock {
+		d := w.queue.pop()
+		w.H.Set(w.slots[d.slot], heap.NullWord)
+		w.freeSlots = append(w.freeSlots, d.slot)
+		w.liveCount--
+	}
+
+	s := w.H.Scope()
+	cdr := w.H.Null()
+	if w.linkProb > 0 && w.liveCount > 0 && w.rng.Float64() < w.linkProb {
+		if slot := w.randomLiveSlot(); slot >= 0 {
+			cdr = w.H.Dup(w.slots[slot])
+		}
+	}
+	var obj heap.Ref
+	if w.sizeMax > 0 {
+		size := w.sizeMin + w.rng.Intn(w.sizeMax-w.sizeMin+1)
+		obj = w.H.MakeVector(size, cdr)
+	} else {
+		obj = w.H.Cons(w.H.Fix(int64(w.clock)), cdr)
+	}
+
+	slot := w.takeSlot()
+	w.H.Set(w.slots[slot], w.H.Get(obj))
+	s.Close()
+
+	w.clock++
+	w.liveCount++
+	w.queue.push(death{at: w.clock + w.sampleLifetime(), slot: slot})
+}
+
+func (w *Workload) takeSlot() int {
+	if n := len(w.freeSlots); n > 0 {
+		slot := w.freeSlots[n-1]
+		w.freeSlots = w.freeSlots[:n-1]
+		return slot
+	}
+	w.slots = append(w.slots, w.H.GlobalWord(heap.NullWord))
+	return len(w.slots) - 1
+}
+
+// randomLiveSlot samples a uniformly random occupied slot, or -1 if the
+// occupancy is too sparse to find one quickly.
+func (w *Workload) randomLiveSlot() int {
+	for tries := 0; tries < 16; tries++ {
+		slot := w.rng.Intn(len(w.slots))
+		if w.H.Get(w.slots[slot]) != heap.NullWord {
+			return slot
+		}
+	}
+	return -1
+}
+
+// Run performs n allocation steps.
+func (w *Workload) Run(n int) {
+	for i := 0; i < n; i++ {
+		w.Step()
+	}
+}
+
+// Warmup runs the workload for the given number of half-lives so the live
+// population reaches its equilibrium of about 1.4427·h objects.
+func (w *Workload) Warmup(halfLives float64) {
+	w.Run(int(halfLives * w.Model.H))
+}

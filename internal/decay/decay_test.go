@@ -1,0 +1,204 @@
+package decay
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"rdgc/internal/gc/semispace"
+	"rdgc/internal/heap"
+)
+
+func TestSampleLifetimeMean(t *testing.T) {
+	// A geometric lifetime with survival rate r has mean 1/(1−r), which is
+	// the equilibrium population n (that coincidence is how equation (1)
+	// falls out of Little's law).
+	m := Model{H: 256}
+	rng := rand.New(rand.NewSource(1))
+	var sum float64
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		sum += float64(m.SampleLifetime(rng))
+	}
+	mean := sum / trials
+	want := m.EquilibriumLive()
+	if math.Abs(mean-want)/want > 0.02 {
+		t.Errorf("mean lifetime = %.1f, want about %.1f", mean, want)
+	}
+}
+
+func TestSurvivalMatchesHalfLife(t *testing.T) {
+	m := Model{H: 100}
+	rng := rand.New(rand.NewSource(2))
+	const trials = 100000
+	survived := 0
+	for i := 0; i < trials; i++ {
+		if m.SampleLifetime(rng) > 100 {
+			survived++
+		}
+	}
+	got := float64(survived) / trials
+	if math.Abs(got-0.5) > 0.01 {
+		t.Errorf("P(live past one half-life) = %.3f, want 0.50", got)
+	}
+}
+
+func TestDeathQueueOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		var q deathQueue
+		for i, at := range times {
+			q.push(death{at: uint64(at), slot: i})
+		}
+		var got []uint64
+		for len(q) > 0 {
+			got = append(got, q.pop().at)
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEquilibriumPopulation(t *testing.T) {
+	// Equation (1): live storage at equilibrium is about 1.4427·h objects.
+	const h = 512.0
+	heapObj := heap.New()
+	semispace.New(heapObj, 1<<20)
+	w := NewWorkload(heapObj, h, 42)
+	w.Warmup(12)
+
+	want := w.Model.EquilibriumLive()
+	// Average the live population over a few half-lives to smooth noise.
+	var sum float64
+	const samples = 2000
+	for i := 0; i < samples; i++ {
+		w.Run(int(h) / 100)
+		sum += float64(w.LiveObjects())
+	}
+	mean := sum / samples
+	if math.Abs(mean-want)/want > 0.10 {
+		t.Errorf("equilibrium live = %.1f objects, want about %.1f", mean, want)
+	}
+}
+
+func TestAgeGivesNoInformation(t *testing.T) {
+	// The defining property of the model: among objects alive now, the
+	// young and the old survive the next interval at the same rate.
+	m := Model{H: 200}
+	rng := rand.New(rand.NewSource(7))
+	const cohort = 60000
+	interval := uint64(100)
+
+	// "Young" objects alive at age 50, "old" objects alive at age 600:
+	// measure each group's survival for `interval` more ticks.
+	rate := func(age uint64) float64 {
+		alive, survived := 0, 0
+		for i := 0; i < cohort; i++ {
+			lt := m.SampleLifetime(rng)
+			if lt <= age {
+				continue
+			}
+			alive++
+			if lt > age+interval {
+				survived++
+			}
+		}
+		if alive == 0 {
+			return math.NaN()
+		}
+		return float64(survived) / float64(alive)
+	}
+	young, old := rate(50), rate(600)
+	want := m.Survival(float64(interval))
+	if math.Abs(young-want) > 0.02 || math.Abs(old-want) > 0.03 {
+		t.Errorf("survival young=%.3f old=%.3f, want both about %.3f", young, old, want)
+	}
+}
+
+func TestWorkloadStructureIsConsistent(t *testing.T) {
+	heapObj := heap.New()
+	semispace.New(heapObj, 1<<18)
+	w := NewWorkload(heapObj, 128, 3)
+	w.Run(5000)
+	live := 0
+	for _, r := range w.slots {
+		if heapObj.Get(r) != heap.NullWord {
+			live++
+		}
+	}
+	if live != w.LiveObjects() {
+		t.Errorf("slot scan found %d live, counter says %d", live, w.LiveObjects())
+	}
+	if w.Clock() != 5000 {
+		t.Errorf("clock = %d, want 5000", w.Clock())
+	}
+}
+
+func TestLinkedWorkload(t *testing.T) {
+	heapObj := heap.New()
+	semispace.New(heapObj, 1<<18)
+	w := NewWorkload(heapObj, 128, 4, WithLinking(0.5))
+	w.Run(5000)
+	// Some objects must have pair cdrs.
+	linked := 0
+	s := heapObj.Scope()
+	defer s.Close()
+	for _, r := range w.slots {
+		if heapObj.Get(r) == heap.NullWord {
+			continue
+		}
+		if heapObj.IsPair(heapObj.Cdr(r)) {
+			linked++
+		}
+	}
+	if linked == 0 {
+		t.Error("WithLinking(0.5) produced no linked objects")
+	}
+}
+
+func TestSizedWorkload(t *testing.T) {
+	heapObj := heap.New()
+	semispace.New(heapObj, 1<<19)
+	w := NewWorkload(heapObj, 128, 5, WithSizes(2, 10))
+	w.Run(5000)
+	if got := w.AvgObjectWords(); got != 7 {
+		t.Errorf("AvgObjectWords = %g, want 7", got)
+	}
+	// Objects must be vectors with payloads in range.
+	s := heapObj.Scope()
+	defer s.Close()
+	checked := 0
+	for _, r := range w.slots {
+		if heapObj.Get(r) == heap.NullWord {
+			continue
+		}
+		if !heapObj.IsVector(r) {
+			t.Fatal("sized workload allocated a non-vector")
+		}
+		if n := heapObj.VectorLen(r); n < 2 || n > 10 {
+			t.Fatalf("vector payload %d out of [2,10]", n)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("nothing live to check")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, int) {
+		heapObj := heap.New()
+		c := semispace.New(heapObj, 1<<18)
+		w := NewWorkload(heapObj, 128, 99)
+		w.Run(20000)
+		return heapObj.Stats.WordsAllocated, c.GCStats().Collections
+	}
+	a1, c1 := run()
+	a2, c2 := run()
+	if a1 != a2 || c1 != c2 {
+		t.Errorf("same seed diverged: (%d,%d) vs (%d,%d)", a1, c1, a2, c2)
+	}
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import "testing"
+
+// TestInfantMortalityCrossover connects Section 7 to the model: under pure
+// radioactive decay the conventional generational collector loses to
+// non-generational collection, but once most objects die young (the weak
+// generational hypothesis) it wins — while the non-predictive collector is
+// competitive in both regimes.
+func TestInfantMortalityCrossover(t *testing.T) {
+	pure := base
+	pure.Steps = 80000
+
+	weak := pure
+	weak.InfantProb = 0.95
+	weak.InfantHalfLife = pure.HalfLife / 256
+	weak.NurseryFraction = 0.25 // generational collectors give the young
+	// generations a light load factor (§7)
+
+	msPure := RunMarkSweep(pure)
+	convPure := RunConventionalGenerational(pure)
+	if convPure.MarkCons <= msPure.MarkCons {
+		t.Errorf("pure decay: conventional %.3f should lose to mark/sweep %.3f",
+			convPure.MarkCons, msPure.MarkCons)
+	}
+
+	msWeak := RunMarkSweep(weak)
+	convWeak := RunConventionalGenerational(weak)
+	if convWeak.MarkCons >= msWeak.MarkCons {
+		t.Errorf("weak-generational: conventional %.3f should beat mark/sweep %.3f",
+			convWeak.MarkCons, msWeak.MarkCons)
+	}
+
+	// The non-predictive collector must beat non-generational collection
+	// under pure decay, and not fall apart in the weak regime (the young
+	// steps hold the infants until they have decayed).
+	npPure := RunNonPredictive(pure)
+	if npPure.MarkCons >= msPure.MarkCons {
+		t.Errorf("pure decay: non-predictive %.3f should beat mark/sweep %.3f",
+			npPure.MarkCons, msPure.MarkCons)
+	}
+	// Infant mortality makes survival *increase* with age — the regime §7
+	// identifies as unfavourable to non-predictive collection — so we only
+	// require the standalone collector to stay in the baseline's regime.
+	npWeak := RunNonPredictive(weak)
+	if npWeak.MarkCons > 1.5*msWeak.MarkCons {
+		t.Errorf("weak-generational: non-predictive %.3f far above mark/sweep %.3f",
+			npWeak.MarkCons, msWeak.MarkCons)
+	}
+
+	// The paper's remedy is the hybrid (§8): a conventional nursery
+	// filters the infants and the non-predictive area manages only the
+	// long-lived population. It must beat the non-generational baseline in
+	// the weak regime.
+	hyWeak := RunHybrid(weak)
+	if hyWeak.MarkCons >= msWeak.MarkCons {
+		t.Errorf("weak-generational: hybrid %.3f should beat mark/sweep %.3f",
+			hyWeak.MarkCons, msWeak.MarkCons)
+	}
+}
+
+// TestTenuringDoesNotRescueYoungestFirst: no number of aging generations
+// makes youngest-first collection profitable under pure radioactive decay.
+func TestTenuringDoesNotRescueYoungestFirst(t *testing.T) {
+	cfg := base
+	cfg.Steps = 80000
+	ms := RunMarkSweep(cfg)
+	for _, n := range []int{2, 3, 4} {
+		mg := RunMultigen(cfg, n)
+		if mg.MarkCons <= ms.MarkCons {
+			t.Errorf("multigen(%d) %.3f should lose to mark/sweep %.3f under decay",
+				n, mg.MarkCons, ms.MarkCons)
+		}
+	}
+}

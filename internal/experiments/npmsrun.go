@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"rdgc/internal/decay"
+	"rdgc/internal/gc/npms"
+	"rdgc/internal/heap"
+)
+
+// RunNonPredictiveMS measures the mark/sweep-based non-predictive collector
+// (internal/gc/npms) on the decay workload. Its policy is the same as the
+// copying collector's, so Theorem 4 should describe it too; its mark/cons
+// numerator is marked words instead of copied words.
+func RunNonPredictiveMS(cfg DecayConfig) Result {
+	cfg = cfg.withDefaults()
+	h := heap.New()
+	stepWords := cfg.HeapWords() / cfg.K
+	c := npms.New(h, cfg.K, stepWords, npms.WithG(cfg.G))
+	w := decay.NewWorkload(h, cfg.HalfLife, cfg.Seed, cfg.workloadOpts()...)
+	r := measure(cfg, h, c, w)
+	return r
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import "testing"
+
+func TestNonPredictiveMSBeatsNonGenerational(t *testing.T) {
+	npms := RunNonPredictiveMS(base)
+	ms := RunMarkSweep(base)
+	if npms.MarkCons >= ms.MarkCons {
+		t.Errorf("np mark/sweep %.4f not below non-generational %.4f",
+			npms.MarkCons, ms.MarkCons)
+	}
+}
+
+func TestNonPredictiveMSNearCopyingVariant(t *testing.T) {
+	// Same policy, different mechanism: the mark/sweep variant's residual
+	// survivors in the renamed young steps make f < g, so its ratio may
+	// drift above the copying collector's, but the two must be in the same
+	// regime.
+	msv := RunNonPredictiveMS(base)
+	cp := RunNonPredictive(base)
+	if msv.MarkCons > 2*cp.MarkCons || msv.MarkCons < cp.MarkCons/2 {
+		t.Errorf("np-ms mark/cons %.4f far from copying np %.4f",
+			msv.MarkCons, cp.MarkCons)
+	}
+}
+
+func TestSurvivalExperimentConfigs(t *testing.T) {
+	if len(SurvivalExperiments()) != 4 {
+		t.Fatal("expected 4 survival experiments (Tables 4-7)")
+	}
+	if len(ProfileExperiments()) != 3 {
+		t.Fatal("expected 3 profile experiments (Figures 2-4)")
+	}
+	// Smoke the cheapest of each kind end to end.
+	rows, err := RunSurvival(SurvivalExperiments()[1]) // table5
+	if err != nil {
+		t.Fatal(err)
+	}
+	populated := 0
+	for _, r := range rows {
+		if r.Live > 0 {
+			populated++
+			if r.Rate() < 0 || r.Rate() > 1 {
+				t.Errorf("rate out of range: %v", r)
+			}
+		}
+	}
+	if populated < 2 {
+		t.Errorf("only %d populated rows", populated)
+	}
+
+	p, err := RunProfile(ProfileExperiments()[0]) // figure2
+	if err != nil {
+		t.Fatal(err)
+	}
+	var peak uint64
+	for _, r := range p.Rows {
+		if r.TotalLive > peak {
+			peak = r.TotalLive
+		}
+	}
+	// Figure 2's peak is 1.1 MB; accept a broad band.
+	if peakMB := float64(peak) * 8 / 1e6; peakMB < 0.7 || peakMB > 1.6 {
+		t.Errorf("figure2 peak = %.2f MB, want about 1.1", peakMB)
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rdgc/internal/bench"
+	"rdgc/internal/bench/boyer"
+	"rdgc/internal/bench/dynamicw"
+	"rdgc/internal/gc/semispace"
+	"rdgc/internal/heap"
+	"rdgc/internal/lifetime"
+)
+
+// Words per 100,000 bytes: the paper measures ages in bytes of allocation;
+// this heap measures in 8-byte words.
+const wordsPer100KB = 12500
+
+// SurvivalExperiment defines one of the paper's survival-rate tables.
+type SurvivalExperiment struct {
+	ID          string // "table4" .. "table7"
+	Description string
+	Make        func() bench.Program
+	EpochWords  uint64
+	MaxAge      int // age classes before the "or older" row
+}
+
+// SurvivalExperiments returns the configurations reproducing Tables 4-7.
+func SurvivalExperiments() []SurvivalExperiment {
+	return []SurvivalExperiment{
+		{
+			ID:          "table4",
+			Description: "survival by age, one iteration of dynamic, 100,000-byte epochs",
+			Make:        func() bench.Program { return dynamicw.New(1) },
+			EpochWords:  wordsPer100KB,
+			MaxAge:      10,
+		},
+		{
+			ID:          "table5",
+			Description: "survival by age, 10dynamic, 500,000-byte epochs",
+			Make:        func() bench.Program { return dynamicw.New(10) },
+			EpochWords:  5 * wordsPer100KB,
+			MaxAge:      3,
+		},
+		{
+			ID:          "table6",
+			Description: "survival by age, nboyer2, 500,000-byte epochs",
+			Make:        func() bench.Program { return boyer.New(2, false) },
+			EpochWords:  5 * wordsPer100KB,
+			MaxAge:      10,
+		},
+		{
+			ID:          "table7",
+			Description: "survival by age, sboyer2, 500,000-byte epochs",
+			Make:        func() bench.Program { return boyer.New(2, true) },
+			EpochWords:  5 * wordsPer100KB,
+			MaxAge:      10,
+		},
+	}
+}
+
+// RunSurvival executes one survival experiment and returns its table.
+func RunSurvival(e SurvivalExperiment) ([]lifetime.SurvivalRow, error) {
+	h := heap.New(heap.WithCensus())
+	semispace.New(h, 1<<16, semispace.WithExpansion(3))
+	tr := lifetime.NewTracker(h, e.EpochWords)
+	if err := e.Make().Run(h); err != nil {
+		return nil, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	return lifetime.SurvivalTable(tr.Snapshots(), e.EpochWords, e.MaxAge), nil
+}
+
+// ProfileExperiment defines one of the paper's live-storage figures.
+type ProfileExperiment struct {
+	ID          string // "figure2" .. "figure4"
+	Description string
+	Make        func() bench.Program
+	EpochWords  uint64
+	MaxAge      int
+}
+
+// ProfileExperiments returns the configurations reproducing Figures 2-4.
+func ProfileExperiments() []ProfileExperiment {
+	return []ProfileExperiment{
+		{
+			ID:          "figure2",
+			Description: "live storage vs time, one iteration of dynamic (100,000-byte stripes)",
+			Make:        func() bench.Program { return dynamicw.New(1) },
+			EpochWords:  wordsPer100KB,
+			MaxAge:      10, // the paper whites out storage over 1,000,000 bytes old
+		},
+		{
+			ID:          "figure3",
+			Description: "live storage vs time, nboyer1 (500,000-byte stripes)",
+			Make:        func() bench.Program { return boyer.New(1, false) },
+			EpochWords:  5 * wordsPer100KB,
+			MaxAge:      10,
+		},
+		{
+			ID:          "figure4",
+			Description: "live storage vs time, sboyer2 (500,000-byte stripes)",
+			Make:        func() bench.Program { return boyer.New(2, true) },
+			EpochWords:  5 * wordsPer100KB,
+			MaxAge:      10,
+		},
+	}
+}
+
+// RunProfile executes one profile experiment.
+func RunProfile(e ProfileExperiment) (lifetime.Profile, error) {
+	h := heap.New(heap.WithCensus())
+	semispace.New(h, 1<<16, semispace.WithExpansion(3))
+	tr := lifetime.NewTracker(h, e.EpochWords)
+	if err := e.Make().Run(h); err != nil {
+		return lifetime.Profile{}, fmt.Errorf("%s: %w", e.ID, err)
+	}
+	return lifetime.BuildProfile(tr.Finish(), e.EpochWords, e.MaxAge), nil
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTable1Reproduction(t *testing.T) {
+	res := RunTable1(3)
+
+	// The paper's Table 1, in step order 1..7 (objects, not words):
+	want := [][]int{
+		{0, 0, 0, 0, 0, 1024, 1024}, // gc row / t=0
+		{0, 0, 0, 0, 1024, 512, 512},
+		{0, 0, 0, 1024, 512, 256, 256},
+		{0, 0, 1024, 512, 256, 128, 128},
+		{0, 1024, 512, 256, 128, 64, 64},
+		{1024, 512, 256, 128, 64, 32, 32},
+	}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), len(want))
+	}
+	for i, row := range want {
+		for j := range row {
+			if res.Rows[i][j] != row[j] {
+				t.Errorf("row %d: got %v, want %v", i, res.Rows[i], row)
+				break
+			}
+		}
+	}
+
+	// The steady-state mark/cons ratio is 1024/5120 = 0.2, versus 0.4 for
+	// a non-generational collector in the same heap.
+	if math.Abs(res.MarkCons-0.2) > 1e-9 {
+		t.Errorf("steady mark/cons = %v, want 0.2", res.MarkCons)
+	}
+	if res.Collections < 3 {
+		t.Errorf("only %d collections", res.Collections)
+	}
+}

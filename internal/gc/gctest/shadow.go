@@ -1,0 +1,236 @@
+package gctest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"rdgc/internal/heap"
+)
+
+// Shadow-model differential testing: a random sequence of mutator
+// operations is applied simultaneously to the simulated heap (under the
+// collector being tested) and to native Go "shadow" structures that no
+// collector ever touches. After heavy churn and forced collections, every
+// root must still be structurally identical to its shadow. This catches
+// lost updates, write-barrier omissions, missed evacuations, and renaming
+// bugs in any collector behind the heap.Collector interface.
+
+// shadow values: int64 (fixnum), float64 (flonum), nil (empty list),
+// *shadowPair, *shadowVec.
+type shadowPair struct{ car, cdr any }
+type shadowVec struct{ elems []any }
+
+// shadowState pairs the heap roots (global slots, droppable) with their
+// shadows.
+type shadowState struct {
+	h       *heap.Heap
+	roots   []heap.Ref
+	shadows []any
+	rng     *rand.Rand
+}
+
+// randomValue picks an existing root's value or a fresh immediate.
+func (st *shadowState) randomValue() (heap.Word, any) {
+	if len(st.roots) > 0 && st.rng.Intn(3) > 0 {
+		i := st.rng.Intn(len(st.roots))
+		return st.h.Get(st.roots[i]), st.shadows[i]
+	}
+	switch st.rng.Intn(3) {
+	case 0:
+		n := st.rng.Int63n(1000)
+		return heap.FixnumWord(n), n
+	case 1:
+		f := float64(st.rng.Intn(100)) / 4
+		s := st.h.Scope()
+		w := st.h.Get(st.h.Flonum(f))
+		s.Close()
+		return w, f
+	default:
+		return heap.NullWord, nil
+	}
+}
+
+func (st *shadowState) addRoot(w heap.Word, sh any) {
+	st.roots = append(st.roots, st.h.GlobalWord(w))
+	st.shadows = append(st.shadows, sh)
+}
+
+// pairRoots returns the indices of roots that currently hold pairs.
+func (st *shadowState) pick(kind func(any) bool) (int, bool) {
+	// Random probing keeps this O(1) amortized for well-mixed states.
+	for tries := 0; tries < 16 && len(st.roots) > 0; tries++ {
+		i := st.rng.Intn(len(st.roots))
+		if kind(st.shadows[i]) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+func isPair(v any) bool { _, ok := v.(*shadowPair); return ok }
+func isVec(v any) bool  { _, ok := v.(*shadowVec); return ok }
+
+// RandomOps drives n random operations against h/c with the given seed and
+// verifies every root against its shadow at the end (and at every 1/4 mark,
+// right after a forced collection).
+func RandomOps(t *testing.T, h *heap.Heap, c heap.Collector, n int, seed int64) {
+	t.Helper()
+	st := &shadowState{h: h, rng: rand.New(rand.NewSource(seed))}
+
+	for op := 0; op < n; op++ {
+		switch st.rng.Intn(10) {
+		case 0, 1, 2: // cons
+			s := h.Scope()
+			w1, sh1 := st.randomValue()
+			w2, sh2 := st.randomValue()
+			p := h.Cons(h.RefOf(w1), h.RefOf(w2))
+			st.addRoot(h.Get(p), &shadowPair{car: sh1, cdr: sh2})
+			s.Close()
+		case 3: // make-vector
+			s := h.Scope()
+			size := st.rng.Intn(6)
+			w, sh := st.randomValue()
+			v := h.MakeVector(size, h.RefOf(w))
+			elems := make([]any, size)
+			for i := range elems {
+				elems[i] = sh
+			}
+			st.addRoot(h.Get(v), &shadowVec{elems: elems})
+			s.Close()
+		case 4: // set-car!/set-cdr!
+			if i, ok := st.pick(isPair); ok {
+				s := h.Scope()
+				w, sh := st.randomValue()
+				sp := st.shadows[i].(*shadowPair)
+				target := h.RefOf(st.h.Get(st.roots[i]))
+				if st.rng.Intn(2) == 0 {
+					h.SetCar(target, h.RefOf(w))
+					sp.car = sh
+				} else {
+					h.SetCdr(target, h.RefOf(w))
+					sp.cdr = sh
+				}
+				s.Close()
+			}
+		case 5: // vector-set!
+			if i, ok := st.pick(isVec); ok {
+				sv := st.shadows[i].(*shadowVec)
+				if len(sv.elems) > 0 {
+					s := h.Scope()
+					w, sh := st.randomValue()
+					slot := st.rng.Intn(len(sv.elems))
+					h.VectorSet(h.RefOf(st.h.Get(st.roots[i])), slot, h.RefOf(w))
+					sv.elems[slot] = sh
+					s.Close()
+				}
+			}
+		case 6: // read car/cdr into a new root
+			if i, ok := st.pick(isPair); ok {
+				s := h.Scope()
+				sp := st.shadows[i].(*shadowPair)
+				target := h.RefOf(st.h.Get(st.roots[i]))
+				if st.rng.Intn(2) == 0 {
+					st.addRoot(h.Get(h.Car(target)), sp.car)
+				} else {
+					st.addRoot(h.Get(h.Cdr(target)), sp.cdr)
+				}
+				s.Close()
+			}
+		case 7: // drop a root
+			if len(st.roots) > 1 {
+				i := st.rng.Intn(len(st.roots))
+				h.Set(st.roots[i], heap.NullWord)
+				last := len(st.roots) - 1
+				h.Set(st.roots[i], h.Get(st.roots[last]))
+				st.shadows[i] = st.shadows[last]
+				h.Set(st.roots[last], heap.NullWord)
+				st.roots = st.roots[:last]
+				st.shadows = st.shadows[:last]
+			}
+		case 8: // garbage churn
+			Churn(h, 20)
+		case 9: // nothing; density of mutations over allocation varies
+		}
+		if op%(n/4+1) == n/4 {
+			c.Collect()
+			if err := heap.Check(h); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+			st.verifyAll(t, fmt.Sprintf("after collection at op %d", op))
+			if t.Failed() {
+				return
+			}
+		}
+	}
+	c.Collect()
+	if err := heap.Check(h); err != nil {
+		t.Fatal(err)
+	}
+	st.verifyAll(t, "final")
+}
+
+func (st *shadowState) verifyAll(t *testing.T, when string) {
+	t.Helper()
+	for i := range st.roots {
+		seen := map[visitKey]bool{}
+		if !st.equal(st.h.Get(st.roots[i]), st.shadows[i], seen) {
+			t.Errorf("%s: root %d diverged from shadow", when, i)
+			return
+		}
+	}
+}
+
+type visitKey struct {
+	w  heap.Word
+	sh any
+}
+
+// equal compares a heap value against a shadow, coinductively (cycles
+// created by set-cdr! terminate through the visited set).
+func (st *shadowState) equal(w heap.Word, sh any, seen map[visitKey]bool) bool {
+	switch v := sh.(type) {
+	case nil:
+		return w == heap.NullWord
+	case int64:
+		return heap.IsFixnum(w) && heap.FixnumVal(w) == v
+	case float64:
+		if !heap.IsPtr(w) || heap.HeaderType(st.h.Header(w)) != heap.TFlonum {
+			return false
+		}
+		return math.Float64frombits(uint64(st.h.Payload(w)[0])) == v
+	case *shadowPair:
+		if !heap.IsPtr(w) || heap.HeaderType(st.h.Header(w)) != heap.TPair {
+			return false
+		}
+		k := visitKey{w, sh}
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		p := st.h.Payload(w)
+		return st.equal(p[0], v.car, seen) && st.equal(p[1], v.cdr, seen)
+	case *shadowVec:
+		if !heap.IsPtr(w) || heap.HeaderType(st.h.Header(w)) != heap.TVector {
+			return false
+		}
+		k := visitKey{w, sh}
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		p := st.h.Payload(w)
+		if len(p) != len(v.elems) {
+			return false
+		}
+		for i := range p {
+			if !st.equal(p[i], v.elems[i], seen) {
+				return false
+			}
+		}
+		return true
+	default:
+		return false
+	}
+}

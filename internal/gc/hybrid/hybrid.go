@@ -1,0 +1,370 @@
+// Package hybrid implements the Larceny-style composition of Section 8: a
+// conventional stop-and-copy ephemeral area (nursery) whose promoting
+// collections move *all* live objects into a non-predictive dynamic area
+// managed by the step machinery of internal/core.
+//
+// Two remembered sets are kept separate, as §8.4 prescribes: set A records
+// dynamic-area objects that point into the ephemeral area (situations 3),
+// and set B records objects in steps 1..j that point into steps j+1..k
+// (situations 5 and 6). Situation 5 is detected when promotion places
+// objects into steps 1..j; situations 1, 2 and 4 cannot arise because
+// promoting collections empty the nursery and the recommended j policy
+// keeps steps 1..j empty after a non-predictive collection.
+package hybrid
+
+import (
+	"fmt"
+
+	"rdgc/internal/core"
+	"rdgc/internal/heap"
+	"rdgc/internal/remset"
+)
+
+// Collector is the hybrid ephemeral + non-predictive collector.
+type Collector struct {
+	h       *heap.Heap
+	nursery *heap.Space
+	st      *core.Steps
+
+	rsA remset.Set // dynamic/static objects pointing into the nursery
+	rsB remset.Set // steps-1..j or static objects pointing into the steps
+
+	// statics are the never-collected spaces that explicit full
+	// collections (§8.4) promote all live storage into.
+	statics  []*heap.Space
+	inStatic map[heap.SpaceID]bool
+
+	policy    core.JPolicy
+	allowGrow bool
+
+	stats heap.GCStats
+}
+
+// Option configures the collector.
+type Option func(*Collector)
+
+// WithPolicy substitutes the j policy (default core.Recommended).
+func WithPolicy(p core.JPolicy) Option { return func(c *Collector) { c.policy = p } }
+
+// WithRemsets substitutes both remembered-set representations.
+func WithRemsets(a, b remset.Set) Option {
+	return func(c *Collector) { c.rsA, c.rsB = a, b }
+}
+
+// WithGrowth permits the dynamic area to grow (by whole steps) when
+// survivors overflow a non-predictive collection or promotion cannot fit.
+func WithGrowth() Option { return func(c *Collector) { c.allowGrow = true } }
+
+// New creates a hybrid collector with the given nursery size and k dynamic
+// steps of stepWords each, installing itself as h's allocator and barrier.
+func New(h *heap.Heap, nurseryWords, k, stepWords int, opts ...Option) *Collector {
+	if nurseryWords/2 > stepWords {
+		panic("hybrid: step size must be at least half the nursery size so any promoted object fits a step")
+	}
+	c := &Collector{
+		h:        h,
+		nursery:  h.NewSpace("nursery", nurseryWords),
+		st:       core.NewSteps(h, k, stepWords),
+		rsA:      remset.NewHashSet(),
+		rsB:      remset.NewHashSet(),
+		inStatic: make(map[heap.SpaceID]bool),
+		policy:   core.Recommended{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.st.SetJ(c.policy.ChooseJ(k, k))
+	h.SetAllocator(c)
+	h.SetBarrier(c)
+	return c
+}
+
+// Name implements heap.Collector.
+func (c *Collector) Name() string { return "hybrid (ephemeral + non-predictive)" }
+
+// GCStats implements heap.Collector.
+func (c *Collector) GCStats() *heap.GCStats { return &c.stats }
+
+// Steps exposes the dynamic-area machinery for tests and experiments.
+func (c *Collector) Steps() *core.Steps { return c.st }
+
+// Live returns the words in use in the nursery, dynamic area, and static
+// area.
+func (c *Collector) Live() int {
+	return c.nursery.Used() + c.st.LiveStepWords() + c.StaticWords()
+}
+
+// RemsetLens returns the current sizes of remembered sets A and B.
+func (c *Collector) RemsetLens() (a, b int) { return c.rsA.Len(), c.rsB.Len() }
+
+// RecordWrite implements heap.Barrier. Set A records pointers into the
+// nursery from anywhere outside it; set B records pointers into the
+// collected steps from the uncollected young steps (situations 5 and 6)
+// and pointers into *any* step from the static area, which explicit full
+// collections also need as roots.
+func (c *Collector) RecordWrite(obj, val heap.Word) {
+	if !heap.IsPtr(val) {
+		return
+	}
+	if heap.PtrSpace(val) == c.nursery.ID {
+		if heap.PtrSpace(obj) != c.nursery.ID {
+			c.rsA.Remember(obj)
+		}
+		return
+	}
+	if c.st.InYoung(obj) && c.st.InOld(val) {
+		c.rsB.Remember(obj)
+		return
+	}
+	if c.inStatic[heap.PtrSpace(obj)] && c.st.PosOf(val) >= 0 {
+		c.rsB.Remember(obj)
+	}
+}
+
+// AllocRaw implements heap.Allocator. Objects too large for the nursery are
+// allocated directly in the dynamic area.
+func (c *Collector) AllocRaw(t heap.Type, payload int) heap.Word {
+	total := 1 + payload + c.h.ExtraWords()
+	if total > c.nursery.Cap()/2 {
+		return c.allocDynamic(t, payload, total)
+	}
+	off, ok := c.nursery.Bump(total)
+	if !ok {
+		c.minor()
+		off, ok = c.nursery.Bump(total)
+		if !ok {
+			panic(fmt.Sprintf("hybrid: nursery cannot hold %d words", total))
+		}
+	}
+	return c.h.InitObject(c.nursery, off, t, payload)
+}
+
+func (c *Collector) allocDynamic(t heap.Type, payload, total int) heap.Word {
+	if total > c.st.StepWords {
+		panic(fmt.Sprintf("hybrid: object of %d words exceeds the step size %d", total, c.st.StepWords))
+	}
+	for attempt := 0; ; attempt++ {
+		if s, off, ok := c.st.Bump(total); ok {
+			w := c.h.InitObject(s, off, t, payload)
+			return w
+		}
+		if attempt > 0 {
+			if !c.allowGrow {
+				panic("hybrid: dynamic area full immediately after collection")
+			}
+			c.st.AddSteps(1)
+			continue
+		}
+		c.npCollect()
+	}
+}
+
+// minor runs a promoting collection. Following §8.4, Larceny decides up
+// front whether *all* survivors go into the generation comprising steps
+// j+1..k or all into steps 1..j — never some into each. The old region is
+// preferred; when it lacks worst-case headroom the survivors go to the
+// young steps (creating situation-5 remembered-set entries); when neither
+// region alone has room, a non-predictive collection (which itself empties
+// the nursery) runs instead.
+func (c *Collector) minor() {
+	var targets []*heap.Space
+	intoYoung := false
+	if free := c.regionFree(c.st.J(), c.st.K()); free >= c.nursery.Used() {
+		targets = c.regionTargets(c.st.J(), c.st.K())
+	} else if free := c.regionFree(0, c.st.J()); free >= c.nursery.Used() {
+		targets = c.regionTargets(0, c.st.J())
+		intoYoung = true
+	} else {
+		c.npCollect()
+		return
+	}
+	preTops := make([]int, len(targets))
+	for i, t := range targets {
+		preTops[i] = t.Top
+	}
+
+	e := heap.NewEvacuator(c.h, func(w heap.Word) bool {
+		return heap.PtrSpace(w) == c.nursery.ID
+	}, targets...)
+	c.h.VisitRoots(e.Evacuate)
+	c.rsA.ForEach(func(obj heap.Word) {
+		c.stats.RemsetScanned++
+		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), e.Evacuate)
+	})
+	e.Drain()
+
+	c.nursery.Reset()
+	c.rsA.Clear() // the nursery is empty; no pointers into it remain
+	c.st.RecomputeAllocIdx()
+
+	if intoYoung {
+		// Situation 5: promoted objects pointing into steps j+1..k enter
+		// remembered set B. Only the freshly copied regions need scanning,
+		// and the paper notes the marginal cost of this test is small.
+		for i, tgt := range targets {
+			c.scanPromoted(tgt, preTops[i])
+		}
+	}
+
+	c.stats.Collections++
+	c.stats.WordsCopied += e.WordsCopied
+	c.stats.WordsPromoted += e.WordsCopied
+	c.stats.AddPause(e.WordsCopied)
+	c.notePeaks()
+}
+
+// regionFree sums free words in logical step positions [lo, hi).
+func (c *Collector) regionFree(lo, hi int) int {
+	n := 0
+	for p := lo; p < hi; p++ {
+		n += c.st.Step(p).Free()
+	}
+	return n
+}
+
+// regionTargets returns the steps in positions [lo, hi) that have free
+// space, highest-numbered first (the paper's promotion order).
+func (c *Collector) regionTargets(lo, hi int) []*heap.Space {
+	var out []*heap.Space
+	for p := hi - 1; p >= lo; p-- {
+		if c.st.Step(p).Free() > 0 {
+			out = append(out, c.st.Step(p))
+		}
+	}
+	return out
+}
+
+// scanPromoted adds to remembered set B the objects in s between offsets
+// from and s.Top that contain a pointer into steps j+1..k.
+func (c *Collector) scanPromoted(s *heap.Space, from int) {
+	for off := from; off < s.Top; {
+		hdr := s.Mem[off]
+		found := false
+		heap.ScanObject(s, off, func(slot *heap.Word) {
+			if !found && heap.IsPtr(*slot) && c.st.InOld(*slot) {
+				found = true
+			}
+		})
+		if found {
+			c.rsB.Remember(heap.PtrWord(s.ID, off))
+		}
+		off += heap.ObjWords(hdr)
+	}
+}
+
+// npCollect runs one non-predictive collection of steps j+1..k, evacuating
+// the nursery along with it ("a non-predictive collection always promotes
+// all live objects out of the ephemeral area", §8.4).
+func (c *Collector) npCollect() {
+	nursery := c.nursery
+	copied := c.st.Collect(
+		func(w heap.Word) bool { return heap.PtrSpace(w) == nursery.ID },
+		func(evac func(slot *heap.Word)) {
+			// Remembered objects in the uncollected steps 1..j may hold the
+			// only pointers into the nursery (set A) or into steps j+1..k
+			// (set B); their fields are roots. Entries located inside the
+			// collected region must be skipped: they are scanned when
+			// copied, and their old headers may already hold forwarding
+			// pointers.
+			scan := func(obj heap.Word) {
+				if c.st.InOld(obj) || heap.PtrSpace(obj) == nursery.ID {
+					return
+				}
+				c.stats.RemsetScanned++
+				heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), evac)
+			}
+			c.rsA.ForEach(scan)
+			c.rsB.ForEach(scan)
+		},
+		c.allowGrow)
+
+	c.nursery.Reset()
+	c.rsA.Clear()
+	c.rsB.Clear()
+	if c.allowGrow {
+		// Keep the dynamic area's load factor sane: a collection that
+		// frees less than a third of the steps (or less than two nursery
+		// loads) would otherwise run again almost immediately.
+		for c.st.FreeWords() < c.st.K()*c.st.StepWords/3 ||
+			c.st.FreeWords() < 2*c.nursery.Cap() {
+			c.st.AddSteps(1)
+		}
+	}
+	c.st.SetJ(c.policy.ChooseJ(c.st.EmptyYoungest(), c.st.K()))
+	c.st.ScanYoungForOldPointers(c.rsB.Remember)
+
+	c.stats.Collections++
+	c.stats.MajorCollections++
+	c.stats.WordsCopied += copied
+	c.stats.AddPause(copied)
+	c.stats.NoteLive(c.st.LiveStepWords())
+	c.notePeaks()
+}
+
+// Collect implements heap.Collector with a non-predictive collection.
+func (c *Collector) Collect() { c.npCollect() }
+
+// FullCollect collects the entire dynamic area and nursery (j = 0 for one
+// cycle), reclaiming all garbage including cross-step cycles.
+func (c *Collector) FullCollect() {
+	c.st.SetJ(0)
+	c.npCollect()
+}
+
+// StaticWords returns the words occupied by the static area.
+func (c *Collector) StaticWords() int {
+	n := 0
+	for _, s := range c.statics {
+		n += s.Used()
+	}
+	return n
+}
+
+// PromoteAllToStatic performs the paper's explicit full collection (§8.4):
+// every live object in the nursery and the dynamic area moves into a fresh
+// static space that is never collected again, and the remembered sets
+// empty. Only the mutator requests this.
+func (c *Collector) PromoteAllToStatic() {
+	worst := c.nursery.Used() + c.st.LiveStepWords()
+	if worst == 0 {
+		worst = 1
+	}
+	static := c.h.NewSpace(fmt.Sprintf("static-%d", len(c.statics)), worst)
+	c.statics = append(c.statics, static)
+	c.inStatic[static.ID] = true
+
+	nursery := c.nursery
+	inFrom := func(w heap.Word) bool {
+		return heap.PtrSpace(w) == nursery.ID || c.st.PosOf(w) >= 0
+	}
+	e := heap.NewEvacuator(c.h, inFrom, static)
+	c.h.VisitRoots(e.Evacuate)
+	scan := func(obj heap.Word) {
+		if inFrom(obj) {
+			return // collected with the region; old headers may be forwarded
+		}
+		c.stats.RemsetScanned++
+		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), e.Evacuate)
+	}
+	c.rsA.ForEach(scan)
+	c.rsB.ForEach(scan)
+	e.Drain()
+
+	c.nursery.Reset()
+	c.st.ResetAll()
+	c.st.SetJ(c.policy.ChooseJ(c.st.K(), c.st.K()))
+	c.rsA.Clear()
+	c.rsB.Clear()
+
+	c.stats.Collections++
+	c.stats.MajorCollections++
+	c.stats.WordsCopied += e.WordsCopied
+	c.stats.AddPause(e.WordsCopied)
+	c.notePeaks()
+}
+
+func (c *Collector) notePeaks() {
+	if p := c.rsA.Peak() + c.rsB.Peak(); p > c.stats.RemsetPeak {
+		c.stats.RemsetPeak = p
+	}
+}

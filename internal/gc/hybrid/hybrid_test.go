@@ -1,0 +1,200 @@
+package hybrid
+
+import (
+	"testing"
+
+	"rdgc/internal/core"
+	"rdgc/internal/gc/gctest"
+	"rdgc/internal/heap"
+	"rdgc/internal/remset"
+)
+
+func TestStress(t *testing.T) {
+	h := heap.New()
+	c := New(h, 512, 8, 1024)
+	gctest.StressCollector(t, h, c)
+}
+
+func TestStressWithCensus(t *testing.T) {
+	h := heap.New(heap.WithCensus())
+	c := New(h, 512, 8, 1024)
+	gctest.StressCollector(t, h, c)
+}
+
+func TestStressFixedJ(t *testing.T) {
+	h := heap.New()
+	c := New(h, 512, 8, 1024, WithPolicy(core.FixedJ(2)))
+	gctest.StressCollector(t, h, c)
+}
+
+func TestStressSSB(t *testing.T) {
+	h := heap.New()
+	c := New(h, 512, 8, 1024, WithRemsets(remset.NewSSB(), remset.NewSSB()))
+	gctest.StressCollector(t, h, c)
+}
+
+func TestStressWithGrowth(t *testing.T) {
+	h := heap.New()
+	c := New(h, 512, 4, 512, WithGrowth())
+	gctest.StressCollector(t, h, c)
+}
+
+func TestPromotionMovesEverythingOutOfNursery(t *testing.T) {
+	h := heap.New()
+	c := New(h, 256, 8, 1024)
+	s := h.Scope()
+	defer s.Close()
+	list := gctest.BuildList(h, 10)
+	gctest.Churn(h, 1000) // forces promoting collections
+	gctest.CheckList(t, h, list, 10)
+	if heap.PtrSpace(h.Get(list)) == c.nursery.ID {
+		t.Error("survivor still in nursery")
+	}
+	if c.GCStats().WordsPromoted == 0 {
+		t.Error("no promotion recorded")
+	}
+}
+
+func TestRemsetAPreservesNurseryObject(t *testing.T) {
+	h := heap.New()
+	c := New(h, 256, 8, 1024)
+	s := h.Scope()
+	defer s.Close()
+
+	holder := h.Cons(h.Fix(1), h.Null())
+	c.Collect() // moves holder into the dynamic area, empties nursery
+	if heap.PtrSpace(h.Get(holder)) == c.nursery.ID {
+		t.Fatal("holder not promoted")
+	}
+	func() {
+		s2 := h.Scope()
+		defer s2.Close()
+		young := h.Cons(h.Fix(55), h.Null())
+		h.SetCar(holder, young)
+	}()
+	if a, _ := c.RemsetLens(); a == 0 {
+		t.Fatal("barrier missed dynamic-to-nursery store")
+	}
+	gctest.Churn(h, 1000)
+	got := h.Car(holder)
+	if !h.IsPair(got) || h.FixVal(h.Car(got)) != 55 {
+		t.Error("nursery object referenced only from dynamic area was lost")
+	}
+}
+
+func TestNpCollectEmptiesNursery(t *testing.T) {
+	h := heap.New()
+	c := New(h, 512, 8, 1024)
+	s := h.Scope()
+	defer s.Close()
+	keep := h.Cons(h.Fix(3), h.Null())
+	if heap.PtrSpace(h.Get(keep)) != c.nursery.ID {
+		t.Fatal("setup: object not in nursery")
+	}
+	c.Collect()
+	if c.nursery.Used() != 0 {
+		t.Error("nursery not empty after non-predictive collection")
+	}
+	if heap.PtrSpace(h.Get(keep)) == c.nursery.ID {
+		t.Error("live nursery object not promoted by non-predictive collection")
+	}
+	if v := h.FixVal(h.Car(keep)); v != 3 {
+		t.Errorf("object corrupted: %d", v)
+	}
+}
+
+func TestSituation5EntersRemsetB(t *testing.T) {
+	// Promote an object into steps 1..j while it points into steps j+1..k:
+	// the promotion scan must put it in remembered set B, which must keep
+	// its referent alive across the next non-predictive collection even
+	// after every direct root to the referent is dropped.
+	h := heap.New()
+	c := New(h, 256, 6, 512, WithPolicy(core.FixedJ(2)), WithGrowth())
+	s := h.Scope()
+	defer s.Close()
+
+	old := h.Cons(h.Fix(77), h.Null())
+	c.Collect() // old lands in the dynamic area's old region
+	if !c.st.InOld(h.Get(old)) {
+		t.Fatalf("setup: object at position %d not in old region (j=%d)",
+			c.st.PosOf(h.Get(old)), c.st.J())
+	}
+
+	// Fill the old-region steps with *live* filler so subsequent
+	// promotions are forced down into steps 1..j, keeping only every
+	// fourth pair alive so the eventual collection has room.
+	filler := h.MakeVector(64, h.Null())
+	slot := 0
+	fill := func() {
+		p := h.Cons(h.Fix(int64(slot)), h.Null())
+		if slot%4 == 0 {
+			h.VectorSet(filler, (slot/4)%64, p)
+		}
+		h.Set(p, heap.NullWord)
+		slot++
+	}
+	majorsAtSetup := c.GCStats().MajorCollections
+	oldFree := func() int {
+		n := 0
+		for p := c.st.J(); p < c.st.K(); p++ {
+			n += c.st.Step(p).Free()
+		}
+		return n
+	}
+	// Until the old region cannot absorb a full nursery, so the next
+	// promoting collection must choose the young steps.
+	for oldFree() >= c.nursery.Cap() {
+		fill()
+		if c.GCStats().MajorCollections > majorsAtSetup {
+			t.Fatal("setup: non-predictive collection ran before steps 1..j were exercised")
+		}
+	}
+
+	// Now create the holder in the nursery and force a promoting
+	// collection: with all old-region steps full it must land in
+	// steps 1..j while pointing at old.
+	holder := h.Cons(old, h.Null())
+	for heap.PtrSpace(h.Get(holder)) == c.nursery.ID {
+		fill()
+	}
+	pos := c.st.PosOf(h.Get(holder))
+	if pos < 0 || pos >= c.st.J() {
+		t.Fatalf("holder promoted to position %d, want < j=%d", pos, c.st.J())
+	}
+	if _, b := c.RemsetLens(); b == 0 {
+		t.Fatal("situation 5 promotion did not enter remembered set B")
+	}
+
+	h.Set(old, heap.NullWord) // drop the direct root to the referent
+	c.Collect()               // non-predictive collection of steps j+1..k
+	got := h.Car(holder)
+	if !h.IsPair(got) || h.FixVal(h.Car(got)) != 77 {
+		t.Error("object reachable only through a promoted young-step object was lost")
+	}
+}
+
+func TestLargeObjectGoesToDynamicArea(t *testing.T) {
+	h := heap.New()
+	c := New(h, 256, 8, 1024)
+	s := h.Scope()
+	defer s.Close()
+	v := h.MakeVector(300, h.Null())
+	if heap.PtrSpace(h.Get(v)) == c.nursery.ID {
+		t.Error("large object in nursery")
+	}
+	if c.st.PosOf(h.Get(v)) < 0 {
+		t.Error("large object not in a dynamic step")
+	}
+}
+
+func TestGrowthUnderLiveLoad(t *testing.T) {
+	h := heap.New()
+	c := New(h, 512, 4, 512, WithGrowth())
+	s := h.Scope()
+	defer s.Close()
+	list := gctest.BuildList(h, 3000)
+	gctest.CheckList(t, h, list, 3000)
+	if c.st.K() <= 4 {
+		t.Errorf("dynamic area did not grow: k = %d", c.st.K())
+	}
+}

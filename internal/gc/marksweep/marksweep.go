@@ -1,0 +1,241 @@
+// Package marksweep implements the non-generational mark/sweep collector
+// against which the paper states its headline comparison: its mark/cons
+// ratio under the radioactive decay model is 1/(L-1) (Section 5).
+//
+// Each managed space is kept linearly parsable: free storage is covered by
+// TFree blocks threaded onto an address-ordered first-fit free list, and
+// sweep coalesces adjacent free blocks. Because objects never move, the
+// heap grows by adding spaces.
+package marksweep
+
+import (
+	"fmt"
+
+	"rdgc/internal/heap"
+)
+
+const noBlock = -1
+
+// Collector is a mark/sweep collector over one or more spaces.
+type Collector struct {
+	h      *heap.Heap
+	spaces []*heap.Space
+	// freeHead[i] is the offset of the first free block in spaces[i]; free
+	// blocks chain through payload word 0 (a fixnum offset, noBlock ends).
+	freeHead []int
+	inHeap   []bool // indexed by SpaceID
+	stats    heap.GCStats
+
+	expand float64
+}
+
+// Option configures the collector.
+type Option func(*Collector)
+
+// WithExpansion permits heap growth: when a collection cannot satisfy an
+// allocation, or leaves the inverse load factor below invLoad, a new space
+// is added sized to restore it.
+func WithExpansion(invLoad float64) Option {
+	if invLoad <= 1 {
+		panic("marksweep: inverse load factor must exceed 1")
+	}
+	return func(c *Collector) { c.expand = invLoad }
+}
+
+// New creates a mark/sweep collector with an initial space of the given
+// size and installs it as h's allocator.
+func New(h *heap.Heap, words int, opts ...Option) *Collector {
+	c := &Collector{h: h}
+	for _, o := range opts {
+		o(c)
+	}
+	c.addSpace(words)
+	h.SetAllocator(c)
+	return c
+}
+
+func (c *Collector) addSpace(words int) {
+	s := c.h.NewSpace(fmt.Sprintf("markswept-%d", len(c.spaces)), words)
+	s.Top = s.Cap()
+	s.Mem[0] = heap.HeaderWord(heap.TFree, s.Cap()-1)
+	s.Mem[1] = heap.FixnumWord(noBlock)
+	c.spaces = append(c.spaces, s)
+	c.freeHead = append(c.freeHead, 0)
+	for int(s.ID) >= len(c.inHeap) {
+		c.inHeap = append(c.inHeap, false)
+	}
+	c.inHeap[s.ID] = true
+}
+
+// Name implements heap.Collector.
+func (c *Collector) Name() string { return "mark/sweep" }
+
+// GCStats implements heap.Collector.
+func (c *Collector) GCStats() *heap.GCStats { return &c.stats }
+
+// Live returns the words occupied by non-free blocks.
+func (c *Collector) Live() int {
+	n := 0
+	for _, s := range c.spaces {
+		n += heap.LiveWords(s)
+	}
+	return n
+}
+
+// HeapWords returns the total capacity of the managed spaces.
+func (c *Collector) HeapWords() int {
+	n := 0
+	for _, s := range c.spaces {
+		n += s.Cap()
+	}
+	return n
+}
+
+// AllocRaw implements heap.Allocator.
+func (c *Collector) AllocRaw(t heap.Type, payload int) heap.Word {
+	total := 1 + payload + c.h.ExtraWords()
+	s, off, ok := c.tryAlloc(total)
+	if !ok {
+		c.Collect()
+		s, off, ok = c.tryAlloc(total)
+		if !ok && c.expand > 0 {
+			c.grow(total)
+			s, off, ok = c.tryAlloc(total)
+		}
+		if !ok {
+			panic(fmt.Sprintf("marksweep: out of memory: need %d words", total))
+		}
+	}
+	return c.h.InitObject(s, off, t, payload)
+}
+
+// grow adds a space large enough to restore the target inverse load factor
+// (and in any case to satisfy the pending request).
+func (c *Collector) grow(need int) {
+	live := c.Live()
+	want := int(float64(live)*c.expand) - c.HeapWords()
+	if want < need+1 {
+		want = need + 1
+	}
+	if min := c.HeapWords(); want < min {
+		want = min // at least double the heap to amortize growth
+	}
+	c.addSpace(want)
+}
+
+// tryAlloc finds the first free block of at least n words across all
+// spaces, unlinks it, and returns any remainder to the list in place.
+func (c *Collector) tryAlloc(n int) (*heap.Space, int, bool) {
+	for i, s := range c.spaces {
+		if off, ok := c.tryAllocIn(i, s, n); ok {
+			return s, off, true
+		}
+	}
+	return nil, 0, false
+}
+
+func (c *Collector) tryAllocIn(i int, s *heap.Space, n int) (int, bool) {
+	prev := noBlock
+	for off := c.freeHead[i]; off != noBlock; {
+		hdr := s.Mem[off]
+		blockWords := heap.ObjWords(hdr)
+		next := c.nextFree(s, off)
+		if blockWords >= n {
+			replacement := next
+			if rem := blockWords - n; rem > 1 {
+				remOff := off + n
+				s.Mem[remOff] = heap.HeaderWord(heap.TFree, rem-1)
+				c.setNextFree(s, remOff, next)
+				replacement = remOff
+			} else if rem == 1 {
+				// A lone header word cannot hold a list link; leave it as
+				// unlinked-but-parsable dead space until sweep reclaims it.
+				s.Mem[off+n] = heap.HeaderWord(heap.TFree, 0)
+			}
+			if prev == noBlock {
+				c.freeHead[i] = replacement
+			} else {
+				c.setNextFree(s, prev, replacement)
+			}
+			return off, true
+		}
+		prev = off
+		off = next
+	}
+	return 0, false
+}
+
+func (c *Collector) nextFree(s *heap.Space, off int) int {
+	if heap.HeaderSize(s.Mem[off]) == 0 {
+		return noBlock
+	}
+	return int(heap.FixnumVal(s.Mem[off+1]))
+}
+
+func (c *Collector) setNextFree(s *heap.Space, off, next int) {
+	if heap.HeaderSize(s.Mem[off]) > 0 {
+		s.Mem[off+1] = heap.FixnumWord(int64(next))
+	}
+}
+
+// Collect implements heap.Collector: mark from roots, then sweep every
+// space, rebuilding the free lists with coalescing.
+func (c *Collector) Collect() {
+	m := heap.NewMarker(c.h, nil)
+	m.Run()
+	c.stats.WordsMarked += m.WordsMarked
+	c.stats.Collections++
+	c.stats.MajorCollections++
+	c.stats.AddPause(m.WordsMarked)
+	c.stats.NoteLive(int(m.WordsMarked))
+	for i, s := range c.spaces {
+		c.sweep(i, s)
+	}
+}
+
+// sweep walks one space, clearing marks on survivors and merging dead and
+// free blocks into maximal free blocks linked in address order. Blocks of a
+// single word cannot carry a list link and stay unlinked until coalescing
+// merges them into a neighbour.
+func (c *Collector) sweep(i int, s *heap.Space) {
+	c.freeHead[i] = noBlock
+	tail := noBlock     // last block linked into the free list
+	lastFree := noBlock // trailing free block being coalesced, or noBlock
+	var swept uint64
+	link := func(off int) {
+		if heap.HeaderSize(s.Mem[off]) == 0 {
+			return // 1-word block: leave unlinked
+		}
+		c.setNextFree(s, off, noBlock)
+		if c.freeHead[i] == noBlock {
+			c.freeHead[i] = off
+		} else {
+			c.setNextFree(s, tail, off)
+		}
+		tail = off
+	}
+	heap.WalkSpace(s, func(off int, hdr heap.Word) bool {
+		swept += uint64(heap.ObjWords(hdr))
+		if heap.Marked(hdr) {
+			s.Mem[off] = heap.ClearMark(hdr)
+			lastFree = noBlock
+			return true
+		}
+		n := heap.ObjWords(hdr)
+		if lastFree != noBlock {
+			grown := heap.ObjWords(s.Mem[lastFree]) + n
+			wasUnlinked := heap.HeaderSize(s.Mem[lastFree]) == 0
+			s.Mem[lastFree] = heap.HeaderWord(heap.TFree, grown-1)
+			c.setNextFree(s, lastFree, noBlock)
+			if wasUnlinked {
+				link(lastFree) // growing past 1 word makes it linkable
+			}
+			return true
+		}
+		s.Mem[off] = heap.HeaderWord(heap.TFree, n-1)
+		link(off)
+		lastFree = off
+		return true
+	})
+	c.stats.WordsSwept += swept
+}

@@ -1,0 +1,135 @@
+package marksweep
+
+import (
+	"testing"
+
+	"rdgc/internal/gc/gctest"
+	"rdgc/internal/heap"
+)
+
+func TestStress(t *testing.T) {
+	h := heap.New()
+	c := New(h, 8192)
+	gctest.StressCollector(t, h, c)
+}
+
+func TestStressWithCensus(t *testing.T) {
+	h := heap.New(heap.WithCensus())
+	c := New(h, 8192)
+	gctest.StressCollector(t, h, c)
+}
+
+func TestObjectsDoNotMove(t *testing.T) {
+	h := heap.New()
+	c := New(h, 4096)
+	s := h.Scope()
+	defer s.Close()
+	p := h.Cons(h.Fix(1), h.Null())
+	before := h.Get(p)
+	gctest.Churn(h, 10000)
+	c.Collect()
+	if h.Get(p) != before {
+		t.Error("mark/sweep moved an object")
+	}
+}
+
+func TestFreeListCoalescing(t *testing.T) {
+	h := heap.New()
+	c := New(h, 4096)
+	s := h.Scope()
+
+	// Fill with alternating kept/dropped pairs, then drop the scope and
+	// collect: the dead blocks must coalesce enough to satisfy a large
+	// vector allocation.
+	for i := 0; i < 300; i++ {
+		h.Cons(h.Fix(int64(i)), h.Null())
+	}
+	s.Close()
+	c.Collect()
+
+	s2 := h.Scope()
+	defer s2.Close()
+	v := h.MakeVector(1000, h.Null()) // needs one contiguous 1001-word block
+	if h.VectorLen(v) != 1000 {
+		t.Fatal("large vector allocation failed after coalescing")
+	}
+}
+
+func TestParsabilityInvariant(t *testing.T) {
+	h := heap.New()
+	c := New(h, 2048)
+	s := h.Scope()
+	defer s.Close()
+
+	var keep []heap.Ref
+	for i := 0; i < 50; i++ {
+		keep = append(keep, h.Cons(h.Fix(int64(i)), h.Null()))
+		gctest.Churn(h, 50)
+	}
+	c.Collect()
+	// WalkSpace panics on unparsable spaces; LiveWords exercises it fully.
+	if live := c.Live(); live < 50*3 {
+		t.Errorf("live = %d words, want >= 150", live)
+	}
+	for i, r := range keep {
+		if got := h.FixVal(h.Car(r)); got != int64(i) {
+			t.Errorf("pair %d corrupted: %d", i, got)
+		}
+	}
+}
+
+func TestGrowthAddsSpaces(t *testing.T) {
+	h := heap.New()
+	c := New(h, 512, WithExpansion(2))
+	s := h.Scope()
+	defer s.Close()
+	list := gctest.BuildList(h, 1000)
+	gctest.CheckList(t, h, list, 1000)
+	if len(c.spaces) < 2 {
+		t.Errorf("expected growth to add spaces, have %d", len(c.spaces))
+	}
+	if got := c.HeapWords(); got < 3000 {
+		t.Errorf("heap = %d words, want >= 3000", got)
+	}
+}
+
+func TestOOMPanicsWithoutExpansion(t *testing.T) {
+	h := heap.New()
+	New(h, 128)
+	s := h.Scope()
+	defer s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("allocating past a fixed mark/sweep heap did not panic")
+		}
+	}()
+	acc := h.Null()
+	for i := 0; i < 100; i++ {
+		acc = h.Cons(h.Fix(int64(i)), acc)
+	}
+}
+
+func TestMarkConsIsOneOverLMinusOne(t *testing.T) {
+	// With live storage pinned at 1/L of the heap, the steady-state
+	// mark/cons ratio must approach 1/(L-1) (Section 5 of the paper).
+	const heapWords = 30000
+	const L = 3
+	h := heap.New()
+	c := New(h, heapWords)
+	s := h.Scope()
+	defer s.Close()
+
+	live := heapWords / L
+	_ = gctest.BuildList(h, live/3) // pairs are 3 words
+
+	start := h.Stats.WordsAllocated
+	marked0 := c.GCStats().WordsMarked
+	gctest.Churn(h, 100000)
+	markCons := float64(c.GCStats().WordsMarked-marked0) /
+		float64(h.Stats.WordsAllocated-start)
+
+	want := 1.0 / (L - 1)
+	if markCons < want*0.8 || markCons > want*1.25 {
+		t.Errorf("mark/cons = %.3f, want about %.3f", markCons, want)
+	}
+}

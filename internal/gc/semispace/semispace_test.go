@@ -1,0 +1,86 @@
+package semispace
+
+import (
+	"testing"
+
+	"rdgc/internal/gc/gctest"
+	"rdgc/internal/heap"
+)
+
+func TestStress(t *testing.T) {
+	h := heap.New()
+	c := New(h, 8192)
+	gctest.StressCollector(t, h, c)
+}
+
+func TestStressWithCensus(t *testing.T) {
+	h := heap.New(heap.WithCensus())
+	c := New(h, 8192)
+	gctest.StressCollector(t, h, c)
+}
+
+func TestCollectionReclaimsGarbage(t *testing.T) {
+	h := heap.New()
+	c := New(h, 4096)
+	s := h.Scope()
+	defer s.Close()
+
+	keep := gctest.BuildList(h, 10)
+	gctest.Churn(h, 10000) // far more than one semispace of garbage
+	gctest.CheckList(t, h, keep, 10)
+
+	c.Collect()
+	if live := c.Live(); live > 10*3+10 {
+		t.Errorf("live after collect = %d words, want about %d", live, 10*3)
+	}
+}
+
+func TestOOMPanics(t *testing.T) {
+	h := heap.New()
+	New(h, 64)
+	s := h.Scope()
+	defer s.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("allocating past a fixed semispace did not panic")
+		}
+	}()
+	acc := h.Null()
+	for i := 0; i < 100; i++ {
+		acc = h.Cons(h.Fix(int64(i)), acc) // all live: must exhaust
+	}
+}
+
+func TestExpansion(t *testing.T) {
+	h := heap.New()
+	c := New(h, 256, WithExpansion(2))
+	s := h.Scope()
+	defer s.Close()
+	list := gctest.BuildList(h, 500) // needs 1500 words live
+	gctest.CheckList(t, h, list, 500)
+	if c.SemiWords() <= 256 {
+		t.Errorf("semispace did not grow: %d words", c.SemiWords())
+	}
+	// The inverse load factor should be respected after a collection.
+	c.Collect()
+	if got := float64(c.SemiWords()) / float64(c.Live()); got < 2 {
+		t.Errorf("inverse load factor = %.2f, want >= 2", got)
+	}
+}
+
+func TestMarkConsAccounting(t *testing.T) {
+	h := heap.New()
+	c := New(h, 4096)
+	s := h.Scope()
+	defer s.Close()
+	keep := gctest.BuildList(h, 100) // 300 words live
+	allocated := h.Stats.WordsAllocated
+	c.Collect()
+	if got := c.GCStats().WordsCopied; got != 300 {
+		t.Errorf("WordsCopied = %d, want 300", got)
+	}
+	if h.Stats.WordsAllocated != allocated {
+		t.Error("collection changed the allocation clock")
+	}
+	gctest.CheckList(t, h, keep, 100)
+}

@@ -1,0 +1,119 @@
+package heap
+
+import "fmt"
+
+// Evacuator is a generic Cheney copying engine. Every copying collection in
+// the repository — semispace flips, nursery evacuations, promotions, and the
+// non-predictive collector's older-first collections — is an Evacuator run
+// with a different from-region predicate and target list.
+//
+// Usage: configure H, InFrom, and Targets; call Evacuate on every root slot
+// (and remembered-set slot); then call Drain. After Drain returns, every
+// object reachable from the visited slots has been copied out of the
+// from-region and all copied slots have been updated.
+type Evacuator struct {
+	H      *Heap
+	InFrom func(w Word) bool // does this pointer target the from-region?
+
+	// Targets are filled in order; an object is copied into the first
+	// target with room. Collectors must provide enough total room for the
+	// worst case (all of from-region live) or set Overflow.
+	Targets []*Space
+
+	// Overflow, when non-nil, is called with the failing request size when
+	// every target is full; it must return a fresh space, which is appended
+	// to Targets. When nil, overflow panics.
+	Overflow func(need int) *Space
+
+	// scanBase[i] is the offset in Targets[i] where this run's copies began.
+	scanBase []int
+	// scan[i] is the per-target scan cursor for the gray region.
+	scan []int
+
+	WordsCopied   uint64
+	ObjectsCopied int
+}
+
+// NewEvacuator prepares an engine whose copies land in targets, recording
+// the current tops so only newly copied objects are scanned.
+func NewEvacuator(h *Heap, inFrom func(w Word) bool, targets ...*Space) *Evacuator {
+	e := &Evacuator{H: h, InFrom: inFrom, Targets: targets}
+	e.scanBase = make([]int, len(targets))
+	e.scan = make([]int, len(targets))
+	for i, t := range targets {
+		e.scanBase[i] = t.Top
+		e.scan[i] = t.Top
+	}
+	return e
+}
+
+// Evacuate processes one slot: if it holds a pointer into the from-region,
+// the target object is copied (or its existing forwarding followed) and the
+// slot updated.
+func (e *Evacuator) Evacuate(slot *Word) {
+	w := *slot
+	if !IsPtr(w) || !e.InFrom(w) {
+		return
+	}
+	s := e.H.SpaceOf(w)
+	off := PtrOff(w)
+	hdr := s.Mem[off]
+	if IsPtr(hdr) { // already forwarded: header slot holds the new address
+		*slot = hdr
+		return
+	}
+	n := ObjWords(hdr)
+	toSpace, toOff := e.reserve(n)
+	copy(toSpace.Mem[toOff:toOff+n], s.Mem[off:off+n])
+	fwd := PtrWord(toSpace.ID, toOff)
+	s.Mem[off] = fwd
+	*slot = fwd
+	e.WordsCopied += uint64(n)
+	e.ObjectsCopied++
+}
+
+func (e *Evacuator) reserve(n int) (*Space, int) {
+	for _, t := range e.Targets {
+		if off, ok := t.Bump(n); ok {
+			return t, off
+		}
+	}
+	if e.Overflow != nil {
+		t := e.Overflow(n)
+		e.Targets = append(e.Targets, t)
+		e.scanBase = append(e.scanBase, t.Top)
+		e.scan = append(e.scan, t.Top)
+		if off, ok := t.Bump(n); ok {
+			return t, off
+		}
+	}
+	panic(fmt.Sprintf("heap: evacuation overflow: no target space has %d free words", n))
+}
+
+// Drain scans the gray region of every target, evacuating whatever the
+// copied objects reference, until no gray objects remain.
+func (e *Evacuator) Drain() {
+	for {
+		progress := false
+		for i, t := range e.Targets {
+			for e.scan[i] < t.Top {
+				progress = true
+				off := e.scan[i]
+				hdr := t.Mem[off]
+				ScanObject(t, off, e.Evacuate)
+				e.scan[i] = off + ObjWords(hdr)
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// Run is the common whole-collection shape: evacuate all heap roots, then
+// drain. Collectors with extra roots (remembered sets) evacuate those
+// explicitly before calling Drain instead.
+func (e *Evacuator) Run() {
+	e.H.VisitRoots(e.Evacuate)
+	e.Drain()
+}

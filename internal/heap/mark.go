@@ -1,0 +1,69 @@
+package heap
+
+// Marker is a generic tracing engine that sets header mark bits without
+// moving anything. The mark/sweep collector and the lifetime census both
+// use it; they differ only in the region predicate and in what they do with
+// the marks afterwards.
+type Marker struct {
+	H *Heap
+	// InRegion bounds the trace: pointers to objects outside the region are
+	// treated as leaves. A nil predicate traces the whole heap.
+	InRegion func(w Word) bool
+
+	stack []Word
+
+	WordsMarked   uint64
+	ObjectsMarked int
+}
+
+// NewMarker prepares a whole-heap marker when inRegion is nil, or a
+// region-bounded one otherwise.
+func NewMarker(h *Heap, inRegion func(w Word) bool) *Marker {
+	return &Marker{H: h, InRegion: inRegion}
+}
+
+// MarkWord marks the object w points to (if any) and queues it for scanning.
+func (m *Marker) MarkWord(w Word) {
+	if !IsPtr(w) {
+		return
+	}
+	if m.InRegion != nil && !m.InRegion(w) {
+		return
+	}
+	s := m.H.SpaceOf(w)
+	off := PtrOff(w)
+	hdr := s.Mem[off]
+	if Marked(hdr) {
+		return
+	}
+	s.Mem[off] = SetMark(hdr)
+	m.WordsMarked += uint64(ObjWords(hdr))
+	m.ObjectsMarked++
+	m.stack = append(m.stack, w)
+}
+
+// Drain scans queued objects until the mark stack is empty.
+func (m *Marker) Drain() {
+	for len(m.stack) > 0 {
+		w := m.stack[len(m.stack)-1]
+		m.stack = m.stack[:len(m.stack)-1]
+		s := m.H.SpaceOf(w)
+		ScanObject(s, PtrOff(w), func(slot *Word) { m.MarkWord(*slot) })
+	}
+}
+
+// Run marks everything reachable from the heap's roots.
+func (m *Marker) Run() {
+	m.H.VisitRoots(func(slot *Word) { m.MarkWord(*slot) })
+	m.Drain()
+}
+
+// ClearMarks resets the mark bit of every block in the given spaces.
+func ClearMarks(spaces ...*Space) {
+	for _, s := range spaces {
+		WalkSpace(s, func(off int, hdr Word) bool {
+			s.Mem[off] = ClearMark(hdr)
+			return true
+		})
+	}
+}

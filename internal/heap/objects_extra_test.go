@@ -1,0 +1,203 @@
+package heap
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBox(t *testing.T) {
+	h, _ := newBumpHeap(t, 1024)
+	s := h.Scope()
+	defer s.Close()
+	b := h.Box(h.Fix(5))
+	if got := h.FixVal(h.Unbox(b)); got != 5 {
+		t.Errorf("Unbox = %d", got)
+	}
+	h.SetBox(b, h.Fix(9))
+	if got := h.FixVal(h.Unbox(b)); got != 9 {
+		t.Errorf("after SetBox, Unbox = %d", got)
+	}
+}
+
+func TestBytevector(t *testing.T) {
+	h, _ := newBumpHeap(t, 1024)
+	s := h.Scope()
+	defer s.Close()
+	for _, n := range []int{0, 1, 7, 8, 9, 64} {
+		b := h.Bytevector(n)
+		w := h.Get(b)
+		if HeaderType(h.Header(w)) != TBytevec {
+			t.Fatalf("Bytevector(%d) wrong type", n)
+		}
+		want := (n + 7) / 8
+		if want == 0 {
+			want = 1
+		}
+		if got := len(h.Payload(w)); got != want {
+			t.Errorf("Bytevector(%d): %d payload words, want %d", n, got, want)
+		}
+	}
+}
+
+func TestReturn2(t *testing.T) {
+	h, _ := newBumpHeap(t, 1024)
+	outer := h.Scope()
+	defer outer.Close()
+	base := h.LiveRefs()
+	s := h.Scope()
+	a := h.Cons(h.Fix(1), h.Null())
+	h.Fix(99) // filler that must be released
+	b := h.Cons(h.Fix(2), h.Null())
+	a2, b2 := s.Return2(a, b)
+	if h.LiveRefs() != base+2 {
+		t.Fatalf("refs = %d, want %d", h.LiveRefs(), base+2)
+	}
+	if h.FixVal(h.Car(a2)) != 1 || h.FixVal(h.Car(b2)) != 2 {
+		t.Error("Return2 lost values")
+	}
+}
+
+func TestRefOfAndDup(t *testing.T) {
+	h, _ := newBumpHeap(t, 1024)
+	s := h.Scope()
+	defer s.Close()
+	p := h.Cons(h.Fix(3), h.Null())
+	w := h.Get(p)
+	r := h.RefOf(w)
+	if !h.Eq(p, r) {
+		t.Error("RefOf not Eq to source")
+	}
+	d := h.Dup(p)
+	h.Set(d, NullWord)
+	if h.IsNull(p) {
+		t.Error("mutating a Dup changed the original handle")
+	}
+}
+
+func TestGCStatsHelpers(t *testing.T) {
+	var g GCStats
+	var s Stats
+	if g.MarkCons(&s) != 0 {
+		t.Error("MarkCons with zero allocation should be 0")
+	}
+	s.WordsAllocated = 100
+	g.WordsCopied = 30
+	g.WordsMarked = 20
+	if got := g.MarkCons(&s); got != 0.5 {
+		t.Errorf("MarkCons = %v, want 0.5", got)
+	}
+	g.AddPause(10)
+	g.AddPause(30)
+	g.AddPause(20)
+	if g.MaxPauseWords != 30 || g.TotalPauseWords != 60 {
+		t.Errorf("pauses: max %d total %d", g.MaxPauseWords, g.TotalPauseWords)
+	}
+	g.NoteLive(500)
+	g.NoteLive(200)
+	if g.PeakLive != 500 {
+		t.Errorf("PeakLive = %d", g.PeakLive)
+	}
+}
+
+func TestEvacuatorOverflowCallback(t *testing.T) {
+	h := New()
+	from := h.NewSpace("from", 1024)
+	small := h.NewSpace("small", 8)
+	h.SetAllocator(&bumpAlloc{h: h, s: from})
+
+	s := h.Scope()
+	defer s.Close()
+	var keep []Ref
+	for i := 0; i < 20; i++ {
+		keep = append(keep, h.Cons(h.Fix(int64(i)), h.Null()))
+	}
+
+	overflowed := 0
+	e := NewEvacuator(h, func(w Word) bool { return PtrSpace(w) == from.ID }, small)
+	e.Overflow = func(need int) *Space {
+		overflowed++
+		return h.NewSpace("spill", 256)
+	}
+	e.Run()
+	if overflowed == 0 {
+		t.Fatal("overflow callback never fired")
+	}
+	for i, r := range keep {
+		if got := h.FixVal(h.Car(r)); got != int64(i) {
+			t.Errorf("object %d corrupted after overflow evacuation: %d", i, got)
+		}
+		if PtrSpace(h.Get(r)) == from.ID {
+			t.Errorf("object %d not evacuated", i)
+		}
+	}
+}
+
+func TestEvacuatorOverflowPanicsWithoutCallback(t *testing.T) {
+	h := New()
+	from := h.NewSpace("from", 1024)
+	small := h.NewSpace("small", 4)
+	h.SetAllocator(&bumpAlloc{h: h, s: from})
+	s := h.Scope()
+	defer s.Close()
+	for i := 0; i < 10; i++ {
+		h.Cons(h.Fix(int64(i)), h.Null())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow without callback did not panic")
+		}
+	}()
+	NewEvacuator(h, func(w Word) bool { return PtrSpace(w) == from.ID }, small).Run()
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	h, a := newBumpHeap(t, 1024)
+	s := h.Scope()
+	defer s.Close()
+	h.Cons(h.Fix(1), h.Null())
+	if err := Check(h); err != nil {
+		t.Fatalf("clean heap failed Check: %v", err)
+	}
+	// Smash the header.
+	a.s.Mem[0] = FixnumWord(42)
+	if err := Check(h); err == nil {
+		t.Error("Check missed a corrupted header")
+	}
+}
+
+func TestCheckDetectsStaleMark(t *testing.T) {
+	h, a := newBumpHeap(t, 1024)
+	s := h.Scope()
+	defer s.Close()
+	h.Cons(h.Fix(1), h.Null())
+	a.s.Mem[0] = SetMark(a.s.Mem[0])
+	if err := Check(h); err == nil {
+		t.Error("Check missed a stale mark bit")
+	}
+}
+
+func TestAllocHookFires(t *testing.T) {
+	h, _ := newBumpHeap(t, 4096)
+	s := h.Scope()
+	defer s.Close()
+	fired := 0
+	h.SetAllocHook(10, func() {
+		fired++
+		h.ScheduleHook(h.Now() + 10)
+	})
+	for i := 0; i < 30; i++ {
+		h.Cons(h.Fix(int64(i)), h.Null()) // 3 words each
+	}
+	if fired < 5 {
+		t.Errorf("hook fired %d times over 90 words, want >= 5", fired)
+	}
+}
+
+func TestFixnumNegative(t *testing.T) {
+	f := func(n int32) bool {
+		return FixnumVal(FixnumWord(int64(n))) == int64(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,79 @@
+package heap
+
+import "fmt"
+
+// Space is a contiguous arena of words. Collectors own spaces: a semispace
+// collector owns two, the non-predictive collector owns k equal "steps",
+// and so on. Allocation within a space is a bump of Top; mark/sweep
+// collectors instead thread a free list through the space and keep Top at
+// the high-water mark so the space stays linearly parsable.
+type Space struct {
+	ID   SpaceID
+	Mem  []Word
+	Top  int // next free word index for bump allocation
+	Name string
+}
+
+// Cap returns the capacity of the space in words.
+func (s *Space) Cap() int { return len(s.Mem) }
+
+// Free returns the number of unallocated words remaining for bump allocation.
+func (s *Space) Free() int { return len(s.Mem) - s.Top }
+
+// Used returns the number of words below the bump pointer.
+func (s *Space) Used() int { return s.Top }
+
+// Reset empties the space for reuse. The contents are not zeroed; all
+// allocation paths initialize every word they hand out.
+func (s *Space) Reset() { s.Top = 0 }
+
+// Bump allocates n words by bumping Top. It returns the offset of the first
+// word and false if the space lacks room.
+func (s *Space) Bump(n int) (int, bool) {
+	if s.Top+n > len(s.Mem) {
+		return 0, false
+	}
+	off := s.Top
+	s.Top += n
+	return off, true
+}
+
+func (s *Space) String() string {
+	return fmt.Sprintf("space %d %q: %d/%d words", s.ID, s.Name, s.Top, len(s.Mem))
+}
+
+// NewSpace creates a space of the given size in words and registers it with
+// the heap so pointers into it can be dereferenced.
+func (h *Heap) NewSpace(name string, words int) *Space {
+	if words <= 0 {
+		panic("heap: NewSpace with non-positive size")
+	}
+	if len(h.Spaces) >= 1<<16 {
+		panic("heap: too many spaces")
+	}
+	s := &Space{ID: SpaceID(len(h.Spaces)), Mem: make([]Word, words), Name: name}
+	h.Spaces = append(h.Spaces, s)
+	return s
+}
+
+// SpaceOf returns the space that pointer word w points into.
+func (h *Heap) SpaceOf(w Word) *Space { return h.Spaces[PtrSpace(w)] }
+
+// Header returns the header word of the object that w points to.
+func (h *Heap) Header(w Word) Word { return h.SpaceOf(w).Mem[PtrOff(w)] }
+
+// SetHeader overwrites the header word of the object that w points to.
+func (h *Heap) SetHeader(w, hdr Word) { h.SpaceOf(w).Mem[PtrOff(w)] = hdr }
+
+// Payload returns the payload words of the object that w points to,
+// excluding the hidden birth stamp when census tracking is enabled.
+func (h *Heap) Payload(w Word) []Word {
+	s := h.SpaceOf(w)
+	off := PtrOff(w)
+	size := HeaderSize(s.Mem[off])
+	return s.Mem[off+1+h.extraWords : off+1+size]
+}
+
+// ObjWords returns the total footprint in words (header included) of the
+// object whose header word is hdr.
+func ObjWords(hdr Word) int { return 1 + HeaderSize(hdr) }

@@ -1,0 +1,189 @@
+package lifetime
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"rdgc/internal/decay"
+	"rdgc/internal/gc/gctest"
+	"rdgc/internal/gc/semispace"
+	"rdgc/internal/heap"
+)
+
+func TestCensusCountsLiveWords(t *testing.T) {
+	h := heap.New(heap.WithCensus())
+	semispace.New(h, 1<<16)
+	s := h.Scope()
+	defer s.Close()
+
+	gctest.BuildList(h, 10) // 10 pairs, 4 words each with the census word
+	snap := TakeCensus(h, 1000)
+	if got := snap.TotalLive(); got != 40 {
+		t.Errorf("census live = %d words, want 40", got)
+	}
+
+	// Garbage must not be counted.
+	func() {
+		s2 := h.Scope()
+		defer s2.Close()
+		gctest.BuildList(h, 50)
+	}()
+	snap = TakeCensus(h, 1000)
+	if got := snap.TotalLive(); got != 40 {
+		t.Errorf("census after dropping garbage = %d words, want 40", got)
+	}
+}
+
+func TestCensusBucketsByBirthEpoch(t *testing.T) {
+	h := heap.New(heap.WithCensus())
+	semispace.New(h, 1<<16)
+	s := h.Scope()
+	defer s.Close()
+
+	const epoch = 100
+	a := gctest.BuildList(h, 10) // 40 words in epoch 0
+	gctest.Churn(h, 20)          // push the clock past one epoch
+	b := gctest.BuildList(h, 5)  // 20 words in a later epoch
+	_, _ = a, b
+
+	snap := TakeCensus(h, epoch)
+	if snap.LiveByBirthEpoch[0] != 40 {
+		t.Errorf("epoch 0 live = %d, want 40", snap.LiveByBirthEpoch[0])
+	}
+	var later uint64
+	for _, w := range snap.LiveByBirthEpoch[1:] {
+		later += w
+	}
+	if later != 20 {
+		t.Errorf("later epochs live = %d, want 20", later)
+	}
+}
+
+func TestCensusSurvivesCopyingCollections(t *testing.T) {
+	// Birth stamps must travel with objects when they are copied.
+	h := heap.New(heap.WithCensus())
+	c := semispace.New(h, 1<<12)
+	s := h.Scope()
+	defer s.Close()
+	keep := gctest.BuildList(h, 10)
+	before := TakeCensus(h, 100)
+	c.Collect()
+	gctest.Churn(h, 500)
+	after := TakeCensus(h, 100)
+	if before.LiveByBirthEpoch[0] != after.LiveByBirthEpoch[0] {
+		t.Errorf("epoch-0 cohort changed across collections: %d -> %d",
+			before.LiveByBirthEpoch[0], after.LiveByBirthEpoch[0])
+	}
+	gctest.CheckList(t, h, keep, 10)
+}
+
+func TestTrackerSamplesAtEpochBoundaries(t *testing.T) {
+	h := heap.New(heap.WithCensus())
+	semispace.New(h, 1<<16)
+	s := h.Scope()
+	defer s.Close()
+
+	const epoch = 512
+	tr := NewTracker(h, epoch)
+	gctest.Churn(h, 1000) // 4000 words => ~7 epochs
+	snaps := tr.Finish()
+	if len(snaps) < 7 {
+		t.Fatalf("only %d snapshots after ~8 epochs", len(snaps))
+	}
+	for i, sn := range snaps[:len(snaps)-1] {
+		// Each non-final sample should land within one object of a boundary.
+		if off := sn.At % epoch; off > 8 {
+			t.Errorf("snapshot %d at %d, %d words past the boundary", i, sn.At, off)
+		}
+	}
+}
+
+func TestSurvivalTableOnDecayWorkloadIsAgeIndependent(t *testing.T) {
+	// The whole measurement pipeline, applied to the radioactive decay
+	// model, must reproduce its defining property: survival per epoch is
+	// 2^(−E/h) for every age class (compare the paper's Tables 4–7, where
+	// real programs deviate from this).
+	h := heap.New(heap.WithCensus())
+	semispace.New(h, 1<<21)
+	const halfLife = 2000.0 // objects
+	w := decay.NewWorkload(h, halfLife, 11)
+
+	const objWords = 4 // pair + census word
+	epoch := uint64(halfLife * objWords / 2)
+	w.Warmup(12)
+	tr := NewTracker(h, epoch)
+	w.Run(int(halfLife) * 30)
+	snaps := tr.Finish()
+
+	rows := SurvivalTable(snaps, epoch, 6)
+	want := math.Exp2(-float64(epoch) / (halfLife * objWords))
+	for _, r := range rows {
+		if r.Live < 2000 {
+			continue // too few words for a stable rate
+		}
+		if got := r.Rate(); math.Abs(got-want) > 0.06 {
+			t.Errorf("%s: rate %.3f, want about %.3f (age must not matter)",
+				r.String(), got, want)
+		}
+	}
+}
+
+func TestProfileBuildAndRender(t *testing.T) {
+	h := heap.New(heap.WithCensus())
+	semispace.New(h, 1<<16)
+	s := h.Scope()
+	defer s.Close()
+
+	tr := NewTracker(h, 256)
+	keep := gctest.BuildList(h, 30)
+	gctest.Churn(h, 500)
+	_ = keep
+	snaps := tr.Finish()
+
+	p := BuildProfile(snaps, 256, 5)
+	if len(p.Rows) != len(snaps) {
+		t.Fatalf("profile rows %d != snapshots %d", len(p.Rows), len(snaps))
+	}
+	last := p.Rows[len(p.Rows)-1]
+	if last.TotalLive < 120 {
+		t.Errorf("final live %d, want >= 120 (the kept list)", last.TotalLive)
+	}
+
+	var csv strings.Builder
+	if err := p.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != len(p.Rows)+1 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), len(p.Rows)+1)
+	}
+	if !strings.HasPrefix(lines[0], "words_allocated,live_total,age_0_epochs") {
+		t.Errorf("CSV header malformed: %s", lines[0])
+	}
+
+	var art strings.Builder
+	if err := p.RenderASCII(&art, 40); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(art.String(), "#") {
+		t.Error("ASCII rendering shows no live storage")
+	}
+}
+
+func TestSurvivalRowFormatting(t *testing.T) {
+	r := SurvivalRow{AgeLo: 1, AgeHi: 2, Live: 100, Survived: 91}
+	if got := r.Rate(); got != 0.91 {
+		t.Errorf("Rate = %v", got)
+	}
+	if s := r.String(); !strings.Contains(s, "91%") {
+		t.Errorf("String: %s", s)
+	}
+	older := SurvivalRow{AgeLo: 9, AgeHi: -1, Live: 0}
+	if older.Rate() != 0 {
+		t.Error("empty row rate should be 0")
+	}
+	if s := older.String(); !strings.Contains(s, "∞") {
+		t.Errorf("open-ended row: %s", s)
+	}
+}

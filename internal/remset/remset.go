@@ -1,0 +1,113 @@
+// Package remset implements remembered sets for the generational
+// collectors. An entry is an object (not a slot): the paper's Larceny
+// remembers whole objects and rescans their fields at collection time
+// (Section 8.4).
+//
+// Two representations are provided — a hash set and a sequential store
+// buffer — because their trade-off is one of the ablations this repository
+// measures. Both deduplicate: the SSB defers deduplication to scan time.
+package remset
+
+import "rdgc/internal/heap"
+
+// Set is a remembered set of object pointer words.
+type Set interface {
+	// Remember adds the object w points to.
+	Remember(w heap.Word)
+	// ForEach visits each remembered object exactly once.
+	ForEach(f func(w heap.Word))
+	// Clear empties the set.
+	Clear()
+	// Len returns the current number of distinct entries (for the SSB this
+	// forces deduplication).
+	Len() int
+	// Peak returns the largest Len observed at any Clear or Len call.
+	Peak() int
+}
+
+// HashSet is the default remembered-set representation.
+type HashSet struct {
+	m    map[heap.Word]struct{}
+	peak int
+}
+
+// NewHashSet creates an empty hash-based remembered set.
+func NewHashSet() *HashSet { return &HashSet{m: make(map[heap.Word]struct{})} }
+
+// Remember implements Set.
+func (s *HashSet) Remember(w heap.Word) {
+	s.m[w] = struct{}{}
+	if len(s.m) > s.peak {
+		s.peak = len(s.m)
+	}
+}
+
+// ForEach implements Set.
+func (s *HashSet) ForEach(f func(w heap.Word)) {
+	for w := range s.m {
+		f(w)
+	}
+}
+
+// Clear implements Set.
+func (s *HashSet) Clear() { clear(s.m) }
+
+// Len implements Set.
+func (s *HashSet) Len() int { return len(s.m) }
+
+// Peak implements Set.
+func (s *HashSet) Peak() int { return s.peak }
+
+// SSB is a sequential store buffer: the write barrier appends without
+// checking for duplicates, and scans deduplicate. This is the cheap-barrier
+// representation used by several production collectors.
+type SSB struct {
+	buf  []heap.Word
+	peak int
+}
+
+// NewSSB creates an empty sequential store buffer.
+func NewSSB() *SSB { return &SSB{} }
+
+// Remember implements Set.
+func (s *SSB) Remember(w heap.Word) { s.buf = append(s.buf, w) }
+
+// dedup compacts the buffer to distinct entries, preserving first-seen order.
+func (s *SSB) dedup() {
+	seen := make(map[heap.Word]struct{}, len(s.buf))
+	out := s.buf[:0]
+	for _, w := range s.buf {
+		if _, dup := seen[w]; dup {
+			continue
+		}
+		seen[w] = struct{}{}
+		out = append(out, w)
+	}
+	s.buf = out
+	if len(s.buf) > s.peak {
+		s.peak = len(s.buf)
+	}
+}
+
+// ForEach implements Set.
+func (s *SSB) ForEach(f func(w heap.Word)) {
+	s.dedup()
+	for _, w := range s.buf {
+		f(w)
+	}
+}
+
+// Clear implements Set.
+func (s *SSB) Clear() {
+	s.dedup() // record the peak before discarding
+	s.buf = s.buf[:0]
+}
+
+// Len implements Set.
+func (s *SSB) Len() int {
+	s.dedup()
+	return len(s.buf)
+}
+
+// Peak implements Set.
+func (s *SSB) Peak() int { return s.peak }

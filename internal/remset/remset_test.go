@@ -1,0 +1,102 @@
+package remset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rdgc/internal/heap"
+)
+
+func impls() map[string]func() Set {
+	return map[string]func() Set{
+		"hashset": func() Set { return NewHashSet() },
+		"ssb":     func() Set { return NewSSB() },
+	}
+}
+
+func TestRememberDeduplicates(t *testing.T) {
+	for name, mk := range impls() {
+		s := mk()
+		w := heap.PtrWord(1, 64)
+		s.Remember(w)
+		s.Remember(w)
+		s.Remember(w)
+		if got := s.Len(); got != 1 {
+			t.Errorf("%s: Len = %d after duplicate Remembers, want 1", name, got)
+		}
+		count := 0
+		s.ForEach(func(heap.Word) { count++ })
+		if count != 1 {
+			t.Errorf("%s: ForEach visited %d, want 1", name, count)
+		}
+	}
+}
+
+func TestClearAndPeak(t *testing.T) {
+	for name, mk := range impls() {
+		s := mk()
+		for i := 0; i < 10; i++ {
+			s.Remember(heap.PtrWord(1, i*8))
+		}
+		if s.Len() != 10 {
+			t.Errorf("%s: Len = %d, want 10", name, s.Len())
+		}
+		s.Clear()
+		if s.Len() != 0 {
+			t.Errorf("%s: Len after Clear = %d", name, s.Len())
+		}
+		if s.Peak() < 10 {
+			t.Errorf("%s: Peak = %d, want >= 10", name, s.Peak())
+		}
+		// Peak persists across Clear.
+		s.Remember(heap.PtrWord(1, 0))
+		if s.Peak() < 10 {
+			t.Errorf("%s: Peak dropped to %d after reuse", name, s.Peak())
+		}
+	}
+}
+
+func TestRepresentationsAgree(t *testing.T) {
+	f := func(offs []uint16) bool {
+		hs, ssb := NewHashSet(), NewSSB()
+		for _, o := range offs {
+			w := heap.PtrWord(2, int(o))
+			hs.Remember(w)
+			ssb.Remember(w)
+		}
+		if hs.Len() != ssb.Len() {
+			return false
+		}
+		seen := map[heap.Word]bool{}
+		ssb.ForEach(func(w heap.Word) { seen[w] = true })
+		ok := true
+		hs.ForEach(func(w heap.Word) {
+			if !seen[w] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSSBPreservesFirstSeenOrder(t *testing.T) {
+	s := NewSSB()
+	ws := []heap.Word{heap.PtrWord(1, 8), heap.PtrWord(1, 0), heap.PtrWord(1, 8), heap.PtrWord(1, 16)}
+	for _, w := range ws {
+		s.Remember(w)
+	}
+	var got []heap.Word
+	s.ForEach(func(w heap.Word) { got = append(got, w) })
+	want := []heap.Word{heap.PtrWord(1, 8), heap.PtrWord(1, 0), heap.PtrWord(1, 16)}
+	if len(got) != len(want) {
+		t.Fatalf("got %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("entry %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

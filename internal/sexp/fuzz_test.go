@@ -1,0 +1,50 @@
+package sexp
+
+import (
+	"strings"
+	"testing"
+
+	"rdgc/internal/gc/semispace"
+	"rdgc/internal/heap"
+)
+
+// FuzzReader checks that the reader never panics, and that anything it
+// accepts survives a print/re-read round trip to an identical structure.
+func FuzzReader(f *testing.F) {
+	seeds := []string{
+		"", "()", "(a b c)", "(a . b)", "((deeply (nested (list)))) trailing",
+		"'quoted", "; comment\nx", "42", "-7", "(1 . (2 . (3 . ())))",
+		"(((((", ")))))", "(a . )", ". .", "(x . y z)", "ｘ", "(λ)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 4096 {
+			return
+		}
+		// Reject pathological nesting depth: the reader is recursive by
+		// design (like the Scheme reader it mirrors).
+		if strings.Count(src, "(") > 200 {
+			return
+		}
+		h := heap.New()
+		semispace.New(h, 1<<18, semispace.WithExpansion(2))
+		s := h.Scope()
+		defer s.Close()
+
+		v, err := ReadString(h, src)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		printed := Print(h, v)
+		v2, err := ReadString(h, printed)
+		if err != nil {
+			t.Fatalf("re-read of %q (from %q) failed: %v", printed, src, err)
+		}
+		if !Equal(h, v, v2) {
+			t.Fatalf("round trip changed structure: %q -> %q -> %q",
+				src, printed, Print(h, v2))
+		}
+	})
+}

@@ -1,0 +1,270 @@
+// Package sexp provides a small s-expression reader and printer over the
+// simulated heap. The Boyer benchmark's rule base and test terms are
+// embedded as s-expression text and read into heap structure at startup,
+// exactly as the Scheme original quotes them.
+//
+// Syntax: lists (a b . c), symbols, and decimal fixnums. Symbols are
+// interned, so reading the same name twice yields eq? objects. Comments run
+// from ';' to end of line.
+package sexp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"rdgc/internal/heap"
+)
+
+// Reader parses s-expressions from a string into heap objects.
+type Reader struct {
+	h   *heap.Heap
+	src string
+	pos int
+}
+
+// NewReader creates a reader over src allocating into h.
+func NewReader(h *heap.Heap, src string) *Reader {
+	return &Reader{h: h, src: src}
+}
+
+// ReadString parses exactly one s-expression from src.
+func ReadString(h *heap.Heap, src string) (heap.Ref, error) {
+	r := NewReader(h, src)
+	v, err := r.Read()
+	if err != nil {
+		return heap.InvalidRef, err
+	}
+	return v, nil
+}
+
+// MustReadString is ReadString for trusted embedded text.
+func MustReadString(h *heap.Heap, src string) heap.Ref {
+	v, err := ReadString(h, src)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// ReadAll parses every s-expression in src, returning them as a heap list.
+func ReadAll(h *heap.Heap, src string) (heap.Ref, error) {
+	s := h.Scope()
+	r := NewReader(h, src)
+	var items []heap.Ref
+	for {
+		r.skipSpace()
+		if r.pos >= len(r.src) {
+			break
+		}
+		v, err := r.Read()
+		if err != nil {
+			s.Close()
+			return heap.InvalidRef, err
+		}
+		items = append(items, v)
+	}
+	return s.Return(h.List(items...)), nil
+}
+
+// MustReadAll is ReadAll for trusted embedded text.
+func MustReadAll(h *heap.Heap, src string) heap.Ref {
+	v, err := ReadAll(h, src)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func (r *Reader) skipSpace() {
+	for r.pos < len(r.src) {
+		c := r.src[r.pos]
+		switch {
+		case c == ';':
+			for r.pos < len(r.src) && r.src[r.pos] != '\n' {
+				r.pos++
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			r.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (r *Reader) errf(format string, args ...any) error {
+	return fmt.Errorf("sexp: at offset %d: %s", r.pos, fmt.Sprintf(format, args...))
+}
+
+// Read parses one s-expression, leaving the position after it.
+func (r *Reader) Read() (heap.Ref, error) {
+	r.skipSpace()
+	if r.pos >= len(r.src) {
+		return heap.InvalidRef, r.errf("unexpected end of input")
+	}
+	switch c := r.src[r.pos]; {
+	case c == '(':
+		r.pos++
+		return r.readList()
+	case c == ')':
+		return heap.InvalidRef, r.errf("unexpected ')'")
+	case c == '\'':
+		r.pos++
+		s := r.h.Scope()
+		v, err := r.Read()
+		if err != nil {
+			s.Close()
+			return heap.InvalidRef, err
+		}
+		q := r.h.Intern("quote")
+		return s.Return(r.h.List(q, v)), nil
+	default:
+		return r.readAtom()
+	}
+}
+
+func (r *Reader) readList() (heap.Ref, error) {
+	s := r.h.Scope()
+	var items []heap.Ref
+	tail := r.h.Null()
+	for {
+		r.skipSpace()
+		if r.pos >= len(r.src) {
+			s.Close()
+			return heap.InvalidRef, r.errf("unterminated list")
+		}
+		if r.src[r.pos] == ')' {
+			r.pos++
+			break
+		}
+		if r.src[r.pos] == '.' && r.pos+1 < len(r.src) && isDelim(r.src[r.pos+1]) {
+			r.pos++
+			v, err := r.Read()
+			if err != nil {
+				s.Close()
+				return heap.InvalidRef, err
+			}
+			tail = v
+			r.skipSpace()
+			if r.pos >= len(r.src) || r.src[r.pos] != ')' {
+				s.Close()
+				return heap.InvalidRef, r.errf("malformed dotted list")
+			}
+			r.pos++
+			break
+		}
+		v, err := r.Read()
+		if err != nil {
+			s.Close()
+			return heap.InvalidRef, err
+		}
+		items = append(items, v)
+	}
+	acc := tail
+	for i := len(items) - 1; i >= 0; i-- {
+		acc = r.h.Cons(items[i], acc)
+	}
+	return s.Return(acc), nil
+}
+
+func isDelim(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '(' || c == ')'
+}
+
+func (r *Reader) readAtom() (heap.Ref, error) {
+	start := r.pos
+	for r.pos < len(r.src) && !isDelim(r.src[r.pos]) && r.src[r.pos] != ';' {
+		r.pos++
+	}
+	tok := r.src[start:r.pos]
+	if tok == "" {
+		return heap.InvalidRef, r.errf("empty atom")
+	}
+	if tok == "." {
+		return heap.InvalidRef, r.errf("unexpected '.'")
+	}
+	if n, err := strconv.ParseInt(tok, 10, 62); err == nil {
+		return r.h.Fix(n), nil
+	}
+	return r.h.Intern(strings.ToLower(tok)), nil
+}
+
+// Print renders a heap value as s-expression text.
+func Print(h *heap.Heap, v heap.Ref) string {
+	var b strings.Builder
+	printTo(h, &b, v)
+	return b.String()
+}
+
+func printTo(h *heap.Heap, b *strings.Builder, v heap.Ref) {
+	s := h.Scope()
+	defer s.Close()
+	switch {
+	case h.IsNull(v):
+		b.WriteString("()")
+	case h.IsFix(v):
+		fmt.Fprintf(b, "%d", h.FixVal(v))
+	case h.IsSymbol(v):
+		b.WriteString(h.SymbolName(v))
+	case h.IsFlonum(v):
+		fmt.Fprintf(b, "%g", h.FlonumVal(v))
+	case h.IsPair(v):
+		b.WriteByte('(')
+		cur := h.Dup(v)
+		first := true
+		for h.IsPair(cur) {
+			if !first {
+				b.WriteByte(' ')
+			}
+			first = false
+			printTo(h, b, h.Car(cur))
+			h.Set(cur, h.Get(h.Cdr(cur)))
+		}
+		if !h.IsNull(cur) {
+			b.WriteString(" . ")
+			printTo(h, b, cur)
+		}
+		b.WriteByte(')')
+	case h.IsVector(v):
+		b.WriteString("#(")
+		for i := 0; i < h.VectorLen(v); i++ {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			printTo(h, b, h.VectorRef(v, i))
+		}
+		b.WriteByte(')')
+	default:
+		fmt.Fprintf(b, "#<%#x>", uint64(h.Get(v)))
+	}
+}
+
+// Equal reports structural equality of two heap values (Scheme equal?).
+func Equal(h *heap.Heap, a, b heap.Ref) bool {
+	if h.Eq(a, b) {
+		return true
+	}
+	if h.IsPair(a) && h.IsPair(b) {
+		s := h.Scope()
+		defer s.Close()
+		return Equal(h, h.Car(a), h.Car(b)) && Equal(h, h.Cdr(a), h.Cdr(b))
+	}
+	if h.IsVector(a) && h.IsVector(b) {
+		n := h.VectorLen(a)
+		if n != h.VectorLen(b) {
+			return false
+		}
+		s := h.Scope()
+		defer s.Close()
+		for i := 0; i < n; i++ {
+			if !Equal(h, h.VectorRef(a, i), h.VectorRef(b, i)) {
+				return false
+			}
+		}
+		return true
+	}
+	if h.IsFlonum(a) && h.IsFlonum(b) {
+		return h.FlonumVal(a) == h.FlonumVal(b)
+	}
+	return false
+}

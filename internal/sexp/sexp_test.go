@@ -1,0 +1,141 @@
+package sexp
+
+import (
+	"strings"
+	"testing"
+
+	"rdgc/internal/gc/semispace"
+	"rdgc/internal/heap"
+)
+
+func newHeap() *heap.Heap {
+	h := heap.New()
+	semispace.New(h, 1<<18)
+	return h
+}
+
+func TestReadPrintRoundTrip(t *testing.T) {
+	h := newHeap()
+	s := h.Scope()
+	defer s.Close()
+	cases := []string{
+		"()",
+		"x",
+		"42",
+		"-17",
+		"(a b c)",
+		"(a (b c) d)",
+		"(equal (plus (plus x y) z) (plus x (plus y z)))",
+		"(a . b)",
+		"(a b . c)",
+		"(1 2 3)",
+	}
+	for _, src := range cases {
+		v, err := ReadString(h, src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		if got := Print(h, v); got != src {
+			t.Errorf("round trip %q -> %q", src, got)
+		}
+	}
+}
+
+func TestQuoteSugar(t *testing.T) {
+	h := newHeap()
+	s := h.Scope()
+	defer s.Close()
+	v := MustReadString(h, "'(a b)")
+	if got := Print(h, v); got != "(quote (a b))" {
+		t.Errorf("quote read as %q", got)
+	}
+}
+
+func TestCommentsAndWhitespace(t *testing.T) {
+	h := newHeap()
+	s := h.Scope()
+	defer s.Close()
+	v := MustReadString(h, "; leading comment\n  (a ; inline\n b)\n")
+	if got := Print(h, v); got != "(a b)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	h := newHeap()
+	s := h.Scope()
+	defer s.Close()
+	l := MustReadAll(h, "(a) (b c) 7")
+	if n := h.ListLen(l); n != 3 {
+		t.Fatalf("read %d forms, want 3", n)
+	}
+	if got := Print(h, l); got != "((a) (b c) 7)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSymbolsAreInterned(t *testing.T) {
+	h := newHeap()
+	s := h.Scope()
+	defer s.Close()
+	a := MustReadString(h, "hello")
+	b := MustReadString(h, "HELLO") // case-folded
+	if !h.Eq(a, b) {
+		t.Error("same symbol read twice is not eq")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	h := newHeap()
+	for _, src := range []string{"", "(a", ")", "(a . )", "(a . b c)"} {
+		if _, err := ReadString(h, src); err == nil {
+			t.Errorf("%q: expected error", src)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	h := newHeap()
+	s := h.Scope()
+	defer s.Close()
+	a := MustReadString(h, "(f (g x) 3)")
+	b := MustReadString(h, "(f (g x) 3)")
+	c := MustReadString(h, "(f (g y) 3)")
+	if !Equal(h, a, b) {
+		t.Error("structurally equal terms not Equal")
+	}
+	if Equal(h, a, c) {
+		t.Error("different terms Equal")
+	}
+	if !Equal(h, a, a) {
+		t.Error("identity not Equal")
+	}
+	// Flonums and vectors.
+	fa, fb := h.Flonum(2.5), h.Flonum(2.5)
+	if !Equal(h, fa, fb) {
+		t.Error("equal flonums not Equal")
+	}
+	va := h.MakeVector(2, a)
+	vb := h.MakeVector(2, b)
+	if !Equal(h, va, vb) {
+		t.Error("element-equal vectors not Equal")
+	}
+	if Equal(h, va, h.MakeVector(3, a)) {
+		t.Error("different-length vectors Equal")
+	}
+}
+
+func TestReadAllSurvivesCollection(t *testing.T) {
+	h := heap.New()
+	semispace.New(h, 4096) // small heap: reading must cope with GCs
+	s := h.Scope()
+	defer s.Close()
+	var b strings.Builder
+	for i := 0; i < 100; i++ {
+		b.WriteString("(lemma (f x y) (g (h x) y)) ")
+	}
+	l := MustReadAll(h, b.String())
+	if n := h.ListLen(l); n != 100 {
+		t.Fatalf("read %d forms, want 100", n)
+	}
+}
