@@ -1,0 +1,28 @@
+# Tier-1 is the gate every change must pass; race adds the concurrency
+# conformance pass that backs the parallel experiment runner.
+
+GO ?= go
+
+.PHONY: all build vet test race tier1 ci bench
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+tier1: build test
+
+ci:
+	./ci.sh
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -12,11 +12,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"strconv"
 	"strings"
 
 	"rdgc/internal/analytic"
 	"rdgc/internal/experiments"
+	"rdgc/internal/runner"
 )
 
 func main() {
@@ -26,6 +29,8 @@ func main() {
 	simPoints := flag.Int("simpoints", 10, "g samples for simulation")
 	halfLife := flag.Float64("h", 1024, "half-life for simulation, in objects")
 	steps := flag.Int("steps", 150000, "measured allocations for simulation")
+	parallel := flag.Int("parallel", 0, "simulation worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
+	progress := flag.Bool("progress", false, "report per-cell completion to stderr")
 	flag.Parse()
 
 	var ls []float64
@@ -54,15 +59,42 @@ func main() {
 	if !*sim {
 		return
 	}
-	fmt.Println("# simulated points (non-predictive / mark-sweep, measured)")
-	fmt.Println("L,g,relative_overhead_measured")
+
+	// One mark/sweep baseline cell per L, plus one non-predictive cell per
+	// (L, g) sample — all independent, so the whole grid goes through the
+	// worker pool. Cells land in a fixed layout: L index li occupies
+	// [li*(1+simPoints), (li+1)*(1+simPoints)), baseline first.
+	perL := 1 + *simPoints
+	var specs []runner.Spec[experiments.Result]
 	for _, l := range ls {
 		cfg := experiments.DecayConfig{HalfLife: *halfLife, L: l, Steps: *steps}
-		ms := experiments.RunMarkSweep(cfg)
+		specs = append(specs, runner.Spec[experiments.Result]{
+			Name: fmt.Sprintf("mark-sweep L=%g", l),
+			Run:  func() (experiments.Result, error) { return experiments.RunMarkSweep(cfg), nil },
+		})
 		for i := 1; i <= *simPoints; i++ {
+			cfg := cfg
 			cfg.G = 0.5 * float64(i) / float64(*simPoints)
-			np := experiments.RunNonPredictive(cfg)
-			fmt.Printf("%g,%.3f,%.4f\n", l, cfg.G, np.MarkCons/ms.MarkCons)
+			specs = append(specs, runner.Spec[experiments.Result]{
+				Name: fmt.Sprintf("non-predictive L=%g g=%.3f", l, cfg.G),
+				Run:  func() (experiments.Result, error) { return experiments.RunNonPredictive(cfg), nil },
+			})
+		}
+	}
+	var pw io.Writer
+	if *progress {
+		pw = os.Stderr
+	}
+	results := runner.Run(specs, runner.Options{Workers: *parallel, Progress: pw})
+
+	fmt.Println("# simulated points (non-predictive / mark-sweep, measured)")
+	fmt.Println("L,g,relative_overhead_measured")
+	for li, l := range ls {
+		ms := results[li*perL].Value
+		for i := 1; i <= *simPoints; i++ {
+			g := 0.5 * float64(i) / float64(*simPoints)
+			np := results[li*perL+i].Value
+			fmt.Printf("%g,%.3f,%.4f\n", l, g, np.MarkCons/ms.MarkCons)
 		}
 	}
 }

@@ -5,22 +5,41 @@
 // additionally measures the Larceny-style hybrid collector (ephemeral
 // nursery + non-predictive dynamic area) that Section 8 describes, and with
 // -remset it reports remembered-set growth (§8.3).
+//
+// Benchmark rows are independent cells, so they run on a worker pool
+// (-parallel, default GOMAXPROCS); stdout is byte-identical for any worker
+// count. -json emits the per-cell measurements as JSON instead of the table.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"rdgc/internal/bench"
 	"rdgc/internal/experiments"
 	"rdgc/internal/gc/hybrid"
 	"rdgc/internal/heap"
+	"rdgc/internal/runner"
 )
+
+// rowResult is one benchmark's cell: the Table 3 row plus the optional
+// hybrid measurement.
+type rowResult struct {
+	row        experiments.Table3Row
+	hres       bench.RunResult
+	remA, remB int
+}
 
 func main() {
 	table2 := flag.Bool("table2", false, "print the benchmark inventory and exit")
 	quick := flag.Bool("quick", false, "use reduced-scale benchmark instances")
 	withHybrid := flag.Bool("hybrid", false, "also measure the hybrid (non-predictive) collector")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
+	progress := flag.Bool("progress", false, "report per-cell completion and wall-clock to stderr")
+	jsonOut := flag.Bool("json", false, "emit per-cell measurements as JSON instead of the table")
 	flag.Parse()
 
 	if *table2 {
@@ -37,6 +56,39 @@ func main() {
 	}
 	cfg := experiments.DefaultTable3Config()
 
+	specs := make([]runner.Spec[rowResult], len(progs))
+	for i, p := range progs {
+		p := p
+		specs[i] = runner.Spec[rowResult]{
+			Name: p.Name(),
+			Run: func() (rowResult, error) {
+				row, err := experiments.RunTable3Row(func() bench.Program { return p }, cfg)
+				if err != nil {
+					return rowResult{}, err
+				}
+				rr := rowResult{row: row}
+				if *withHybrid {
+					rr.hres, rr.remA, rr.remB = runHybrid(p, row)
+				}
+				return rr, nil
+			},
+			Words: func(v rowResult) uint64 {
+				return v.row.StopAndCopy.WordsAllocated +
+					v.row.Generational.WordsAllocated + v.hres.WordsAllocated
+			},
+		}
+	}
+	var pw io.Writer
+	if *progress {
+		pw = os.Stderr
+	}
+	results := runner.Run(specs, runner.Options{Workers: *parallel, Progress: pw})
+
+	if *jsonOut {
+		emitJSON(results, *withHybrid)
+		return
+	}
+
 	fmt.Println("Table 3: storage allocation and garbage collection overheads")
 	fmt.Printf("%-10s %12s %12s %12s %8s %8s", "name", "alloc (Mw)", "peak (Kw)", "semi (Kw)", "s&c", "gen")
 	if *withHybrid {
@@ -44,26 +96,91 @@ func main() {
 	}
 	fmt.Println()
 
-	for _, p := range progs {
-		p := p
-		row, err := experiments.RunTable3Row(func() bench.Program { return p }, cfg)
-		if err != nil {
-			fmt.Printf("%-10s error: %v\n", p.Name(), err)
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("%-10s error: %v\n", r.Name, r.Err)
 			continue
 		}
+		row := r.Value.row
 		fmt.Printf("%-10s %12.2f %12.0f %12.0f %7.1f%% %7.1f%%",
 			row.Program, float64(row.AllocWords)/1e6, float64(row.PeakWords)/1e3,
 			float64(row.SemiWords)/1e3, 100*row.GCRatioSC(), 100*row.GCRatioGen())
 		if *withHybrid {
-			hres, a, b := runHybrid(p, row)
+			hres := r.Value.hres
 			fmt.Printf(" %7.1f%% %5d/%4d", 100*float64(hres.GCWorkWords)/
-				(experiments.MutatorCostPerWord*float64(hres.WordsAllocated)), a, b)
+				(experiments.MutatorCostPerWord*float64(hres.WordsAllocated)),
+				r.Value.remA, r.Value.remB)
 		}
 		fmt.Println()
+		if *withHybrid && r.Value.hres.Err != nil {
+			fmt.Printf("  (hybrid error: %v)\n", r.Value.hres.Err)
+		}
+	}
+}
+
+// jsonCell is one (program, collector) measurement in -json output. WallNS
+// and WordsPerSec describe the whole benchmark cell (all its collectors)
+// and vary run to run; everything else is deterministic.
+type jsonCell struct {
+	Program       string  `json:"program"`
+	Collector     string  `json:"collector"`
+	AllocWords    uint64  `json:"alloc_words"`
+	GCWorkWords   uint64  `json:"gc_work_words"`
+	MarkCons      float64 `json:"mark_cons"`
+	Collections   int     `json:"collections"`
+	MaxPauseWords uint64  `json:"max_pause_words"`
+	RemsetPeak    int     `json:"remset_peak"`
+	PeakWords     int     `json:"peak_words"`
+	SemiWords     int     `json:"semi_words"`
+	WallNS        int64   `json:"wall_ns"`
+	WordsPerSec   float64 `json:"words_per_sec"`
+	Error         string  `json:"error,omitempty"`
+}
+
+func emitJSON(results []runner.Result[rowResult], withHybrid bool) {
+	var cells []jsonCell
+	for _, r := range results {
+		if r.Err != nil {
+			cells = append(cells, jsonCell{Program: r.Name, Error: r.Err.Error()})
+			continue
+		}
+		row := r.Value.row
+		add := func(res bench.RunResult) {
+			c := jsonCell{
+				Program:       row.Program,
+				Collector:     res.Collector,
+				AllocWords:    res.WordsAllocated,
+				GCWorkWords:   res.GCWorkWords,
+				MarkCons:      res.GCMutatorRatio(),
+				Collections:   res.Collections,
+				MaxPauseWords: res.MaxPauseWords,
+				RemsetPeak:    res.RemsetPeak,
+				PeakWords:     row.PeakWords,
+				SemiWords:     row.SemiWords,
+				WallNS:        r.Wall.Nanoseconds(),
+				WordsPerSec:   r.WordsPerSec(),
+			}
+			if res.Err != nil {
+				c.Error = res.Err.Error()
+			}
+			cells = append(cells, c)
+		}
+		add(row.StopAndCopy)
+		add(row.Generational)
+		if withHybrid {
+			add(r.Value.hres)
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cells); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 
 // runHybrid measures the hybrid collector sized like the generational one.
+// Any benchmark error is left in the result for the caller to report.
 func runHybrid(p bench.Program, row experiments.Table3Row) (bench.RunResult, int, int) {
 	h := heap.New()
 	nursery := row.SemiWords / 8
@@ -77,8 +194,5 @@ func runHybrid(p bench.Program, row experiments.Table3Row) (bench.RunResult, int
 	c := hybrid.New(h, nursery, 8, stepWords, hybrid.WithGrowth())
 	res := bench.Measure(p, h, c)
 	a, b := c.RemsetLens()
-	if res.Err != nil {
-		fmt.Printf("  (hybrid error: %v)\n", res.Err)
-	}
 	return res, a, b
 }

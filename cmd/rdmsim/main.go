@@ -9,9 +9,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"rdgc/internal/analytic"
 	"rdgc/internal/experiments"
+	"rdgc/internal/runner"
 )
 
 func main() {
@@ -25,6 +28,8 @@ func main() {
 	all := flag.Bool("all", false, "also measure the hybrid, multigen, and np-mark/sweep collectors")
 	infant := flag.Float64("infant", 0, "infant-mortality probability (0 = pure decay)")
 	infantH := flag.Float64("infanth", 0, "infant half-life (default h/64)")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
+	progress := flag.Bool("progress", false, "report per-cell completion to stderr")
 	flag.Parse()
 
 	if *infant > 0 && *infantH == 0 {
@@ -40,13 +45,39 @@ func main() {
 	fmt.Printf("expected equilibrium live: %.0f objects (1.4427h, eq. 1)\n\n",
 		analytic.EquilibriumLive(*h))
 
-	for _, r := range experiments.CompareAll(cfg) {
-		fmt.Println(r)
+	// Each collector measures the same workload on its own heap, so the
+	// comparison cells run on a worker pool; printing stays in cell order.
+	mk := func(name string, run func(experiments.DecayConfig) experiments.Result) runner.Spec[experiments.Result] {
+		return runner.Spec[experiments.Result]{
+			Name: name,
+			Run:  func() (experiments.Result, error) { return run(cfg), nil },
+		}
+	}
+	specs := []runner.Spec[experiments.Result]{
+		mk("mark/sweep", experiments.RunMarkSweep),
+		mk("stop-and-copy", experiments.RunSemispace),
+		mk("generational", experiments.RunConventionalGenerational),
+		mk("non-predictive", experiments.RunNonPredictive),
 	}
 	if *all {
-		fmt.Println(experiments.RunHybrid(cfg))
-		fmt.Println(experiments.RunMultigen(cfg, 3))
-		fmt.Println(experiments.RunNonPredictiveMS(cfg))
+		specs = append(specs,
+			mk("hybrid", experiments.RunHybrid),
+			mk("multigen", func(c experiments.DecayConfig) experiments.Result {
+				return experiments.RunMultigen(c, 3)
+			}),
+			mk("np-mark/sweep", experiments.RunNonPredictiveMS),
+		)
+	}
+	var pw io.Writer
+	if *progress {
+		pw = os.Stderr
+	}
+	for _, r := range runner.Run(specs, runner.Options{Workers: *parallel, Progress: pw}) {
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, r.Err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Value)
 	}
 
 	fmt.Printf("\nanalytic predictions:\n")

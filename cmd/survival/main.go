@@ -2,74 +2,115 @@
 // Tables 4-7 (survival rates by age) and Figures 2-4 (live storage versus
 // time, striped by age). Figures are emitted as CSV (for plotting) or as a
 // terminal skyline with -ascii.
+//
+// Each experiment is an independent cell on a worker pool (-parallel,
+// default GOMAXPROCS); results print in experiment order, so stdout is
+// byte-identical for any worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"rdgc/internal/experiments"
+	"rdgc/internal/lifetime"
+	"rdgc/internal/runner"
 )
+
+// cell is one experiment's output: a survival table or a storage profile.
+type cell struct {
+	header     string
+	rows       []lifetime.SurvivalRow
+	epochWords uint64
+	profile    lifetime.Profile
+	isProfile  bool
+}
 
 func main() {
 	id := flag.String("id", "all", "experiment: table4..table7, figure2..figure4, or all")
 	ascii := flag.Bool("ascii", false, "render figures as a terminal skyline instead of CSV")
 	width := flag.Int("width", 72, "skyline width for -ascii")
+	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
+	progress := flag.Bool("progress", false, "report per-cell completion to stderr")
 	flag.Parse()
 
-	ran := false
+	var specs []runner.Spec[cell]
 	for _, e := range experiments.SurvivalExperiments() {
 		if *id != "all" && *id != e.ID {
 			continue
 		}
-		ran = true
-		fmt.Printf("== %s: %s\n", e.ID, e.Description)
-		rows, err := experiments.RunSurvival(e)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		bytesPerEpoch := e.EpochWords * 8
-		for _, r := range rows {
-			if r.Live == 0 {
-				continue
-			}
-			lo := uint64(r.AgeLo+1) * bytesPerEpoch
-			hi := fmt.Sprintf("%d", uint64(r.AgeHi+1)*bytesPerEpoch)
-			if r.AgeHi < 0 {
-				hi = "older"
-			}
-			fmt.Printf("  %9d to %9s bytes old: %3.0f%%\n", lo, hi, 100*r.Rate())
-		}
-		fmt.Println()
+		e := e
+		specs = append(specs, runner.Spec[cell]{
+			Name: e.ID,
+			Run: func() (cell, error) {
+				rows, err := experiments.RunSurvival(e)
+				return cell{
+					header:     fmt.Sprintf("== %s: %s", e.ID, e.Description),
+					rows:       rows,
+					epochWords: e.EpochWords,
+				}, err
+			},
+		})
 	}
-
 	for _, e := range experiments.ProfileExperiments() {
 		if *id != "all" && *id != e.ID {
 			continue
 		}
-		ran = true
-		fmt.Printf("== %s: %s\n", e.ID, e.Description)
-		p, err := experiments.RunProfile(e)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
+		e := e
+		specs = append(specs, runner.Spec[cell]{
+			Name: e.ID,
+			Run: func() (cell, error) {
+				p, err := experiments.RunProfile(e)
+				return cell{
+					header:    fmt.Sprintf("== %s: %s", e.ID, e.Description),
+					profile:   p,
+					isProfile: true,
+				}, err
+			},
+		})
+	}
+	if len(specs) == 0 {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *id)
+		os.Exit(2)
+	}
+
+	var pw io.Writer
+	if *progress {
+		pw = os.Stderr
+	}
+	for _, r := range runner.Run(specs, runner.Options{Workers: *parallel, Progress: pw}) {
+		fmt.Println(r.Value.header)
+		if r.Err != nil {
+			fmt.Fprintln(os.Stderr, r.Err)
 			os.Exit(1)
 		}
-		if *ascii {
-			if err := p.RenderASCII(os.Stdout, *width); err != nil {
+		if r.Value.isProfile {
+			var err error
+			if *ascii {
+				err = r.Value.profile.RenderASCII(os.Stdout, *width)
+			} else {
+				err = r.Value.profile.WriteCSV(os.Stdout)
+			}
+			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
-		} else if err := p.WriteCSV(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		} else {
+			bytesPerEpoch := r.Value.epochWords * 8
+			for _, row := range r.Value.rows {
+				if row.Live == 0 {
+					continue
+				}
+				lo := uint64(row.AgeLo+1) * bytesPerEpoch
+				hi := fmt.Sprintf("%d", uint64(row.AgeHi+1)*bytesPerEpoch)
+				if row.AgeHi < 0 {
+					hi = "older"
+				}
+				fmt.Printf("  %9d to %9s bytes old: %3.0f%%\n", lo, hi, 100*row.Rate())
+			}
 		}
 		fmt.Println()
-	}
-
-	if !ran {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *id)
-		os.Exit(2)
 	}
 }

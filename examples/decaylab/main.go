@@ -9,7 +9,17 @@ import (
 
 	"rdgc/internal/analytic"
 	"rdgc/internal/experiments"
+	"rdgc/internal/runner"
 )
+
+// point is one (g, L) cell: the measured relative overhead and the
+// analytic prediction.
+type point struct {
+	measured  float64
+	predicted float64
+	exact     bool
+	err       error
+}
 
 func main() {
 	const halfLife = 768
@@ -18,28 +28,46 @@ func main() {
 	fmt.Println("relative mark/cons overhead (non-predictive / mark-sweep)")
 	fmt.Printf("%6s", "g\\L")
 	ls := []float64{2, 3.5, 6}
+	gs := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
 	for _, l := range ls {
 		fmt.Printf("   L=%-4g      ", l)
 	}
 	fmt.Println("\n        (measured / predicted)")
 
-	for _, g := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
-		fmt.Printf("%6.2f", g)
+	// The g×L grid is embarrassingly parallel: every cell simulates two
+	// collectors on its own heaps. Cells are laid out row-major (g outer).
+	var specs []runner.Spec[point]
+	for _, g := range gs {
 		for _, l := range ls {
-			cfg := experiments.DecayConfig{HalfLife: halfLife, L: l, G: g, Steps: steps}
-			np := experiments.RunNonPredictive(cfg)
-			ms := experiments.RunMarkSweep(cfg)
-			measured := np.MarkCons / ms.MarkCons
-			predicted, exact, err := analytic.RelativeEstimate(g, l)
+			g, l := g, l
+			specs = append(specs, runner.Spec[point]{
+				Name: fmt.Sprintf("g=%.2f L=%g", g, l),
+				Run: func() (point, error) {
+					cfg := experiments.DecayConfig{HalfLife: halfLife, L: l, G: g, Steps: steps}
+					np := experiments.RunNonPredictive(cfg)
+					ms := experiments.RunMarkSweep(cfg)
+					p := point{measured: np.MarkCons / ms.MarkCons}
+					p.predicted, p.exact, p.err = analytic.RelativeEstimate(g, l)
+					return p, nil
+				},
+			})
+		}
+	}
+	results := runner.Run(specs, runner.Options{})
+
+	for gi, g := range gs {
+		fmt.Printf("%6.2f", g)
+		for li := range ls {
+			p := results[gi*len(ls)+li].Value
 			mark := ""
-			if !exact {
+			if !p.exact {
 				mark = "*" // fixed-point lower bound region
 			}
-			if err != nil {
-				fmt.Printf("   %5.2f/err  ", measured)
+			if p.err != nil {
+				fmt.Printf("   %5.2f/err  ", p.measured)
 				continue
 			}
-			fmt.Printf("   %5.2f/%.2f%-1s", measured, predicted, mark)
+			fmt.Printf("   %5.2f/%.2f%-1s", p.measured, p.predicted, mark)
 		}
 		fmt.Println()
 	}

@@ -20,6 +20,15 @@ type Collector struct {
 	policy    JPolicy
 	allowGrow bool
 
+	// Persistent closures for the collection hot path, created once in New
+	// so steady-state collections allocate nothing. extraRoots scans the
+	// remembered set as roots; scanEvac holds the evacuation function for
+	// the duration of one collection; rememberFn caches rs.Remember.
+	extraRoots func(evac func(slot *heap.Word))
+	scanObj    func(obj heap.Word)
+	scanEvac   func(slot *heap.Word)
+	rememberFn func(obj heap.Word)
+
 	stats heap.GCStats
 }
 
@@ -48,6 +57,16 @@ func New(h *heap.Heap, k, stepWords int, opts ...Option) *Collector {
 	for _, o := range opts {
 		o(c)
 	}
+	c.scanObj = func(obj heap.Word) {
+		c.stats.RemsetScanned++
+		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), c.scanEvac)
+	}
+	c.extraRoots = func(evac func(slot *heap.Word)) {
+		c.scanEvac = evac
+		c.rs.ForEach(c.scanObj)
+		c.scanEvac = nil
+	}
+	c.rememberFn = c.rs.Remember
 	c.st.SetJ(c.policy.ChooseJ(k, k)) // all steps start empty
 	h.SetAllocator(c)
 	h.SetBarrier(c)
@@ -109,12 +128,7 @@ func (c *Collector) AllocRaw(t heap.Type, payload int) heap.Word {
 // Collect implements heap.Collector: one non-predictive collection of
 // steps j+1..k, followed by renaming and the choice of a new j.
 func (c *Collector) Collect() {
-	copied := c.st.Collect(nil, func(evac func(slot *heap.Word)) {
-		c.rs.ForEach(func(obj heap.Word) {
-			c.stats.RemsetScanned++
-			heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), evac)
-		})
-	}, c.allowGrow)
+	copied := c.st.Collect(nil, c.extraRoots, c.allowGrow)
 
 	c.rs.Clear()
 	if c.allowGrow {
@@ -127,7 +141,7 @@ func (c *Collector) Collect() {
 	// Situation 4 (§8.4): survivors that landed in the new steps 1..j must
 	// re-enter the remembered set if they point into steps j+1..k. Under
 	// the recommended policy steps 1..j are empty and this scans nothing.
-	c.st.ScanYoungForOldPointers(c.rs.Remember)
+	c.st.ScanYoungForOldPointers(c.rememberFn)
 
 	c.stats.Collections++
 	c.stats.MajorCollections++

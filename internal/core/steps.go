@@ -36,6 +36,18 @@ type Steps struct {
 
 	j        int
 	allocIdx int // highest position with free space, or -1 when all full
+
+	// evac is the persistent Cheney engine; inFrom is its stored predicate,
+	// parameterized per collection through alsoFrom. The remaining slices
+	// are reusable scratch for the target list and the renaming, so
+	// steady-state collections allocate nothing.
+	evac       *heap.Evacuator
+	alsoFrom   func(heap.Word) bool // extra from-region for this collection
+	overflow   func(int) *heap.Space
+	spares     []*heap.Space
+	targetsBuf []*heap.Space
+	stepsBuf   []*heap.Space
+	shadowsBuf []*heap.Space
 }
 
 // NewSteps creates k steps (and k shadow spaces) of stepWords words each.
@@ -49,6 +61,17 @@ func NewSteps(h *heap.Heap, k, stepWords int) *Steps {
 	}
 	for i := 0; i < k; i++ {
 		st.shadows = append(st.shadows, h.NewSpace(fmt.Sprintf("np-shadow-%d", i), stepWords))
+	}
+	st.evac = heap.NewEvacuator(h, func(w heap.Word) bool {
+		if st.PosOf(w) >= st.j {
+			return true
+		}
+		return st.alsoFrom != nil && st.alsoFrom(w)
+	})
+	st.overflow = func(int) *heap.Space {
+		sp := st.H.NewSpace(fmt.Sprintf("np-spill-%d", len(st.H.Spaces)), st.StepWords)
+		st.spares = append(st.spares, sp)
+		return sp
 	}
 	st.rebuildPos()
 	st.allocIdx = k - 1
@@ -194,38 +217,34 @@ func (st *Steps) Collect(alsoFrom func(heap.Word) bool, extraRoots func(evac fun
 	k, j := st.K(), st.j
 	nNew := k - j
 	primary := st.shadows[:nNew] // primary[i] becomes the new step at position i
-	spares := append([]*heap.Space{}, st.shadows[nNew:]...)
+	st.spares = append(st.spares[:0], st.shadows[nNew:]...)
 
 	// Fill order: new step k-j first, descending — survivors sit directly
 	// below the renamed old steps, as in Table 1.
-	targets := make([]*heap.Space, 0, k)
+	targets := st.targetsBuf[:0]
 	for i := nNew - 1; i >= 0; i-- {
 		targets = append(targets, primary[i])
 	}
-	targets = append(targets, spares...)
+	targets = append(targets, st.spares...)
+	st.targetsBuf = targets
 
-	inFrom := func(w heap.Word) bool {
-		if st.PosOf(w) >= j {
-			return true
-		}
-		return alsoFrom != nil && alsoFrom(w)
-	}
-	e := heap.NewEvacuator(st.H, inFrom, targets...)
+	st.alsoFrom = alsoFrom
+	e := st.evac
+	e.Begin(targets...)
 	if allowGrow {
-		e.Overflow = func(int) *heap.Space {
-			sp := st.H.NewSpace(fmt.Sprintf("np-spill-%d", len(st.H.Spaces)), st.StepWords)
-			spares = append(spares, sp)
-			return sp
-		}
+		e.Overflow = st.overflow
+	} else {
+		e.Overflow = nil
 	}
-	st.H.VisitRoots(e.Evacuate)
+	e.EvacuateRoots()
 	if extraRoots != nil {
-		extraRoots(e.Evacuate)
+		extraRoots(e.Slot())
 	}
 	e.Drain()
+	st.alsoFrom = nil
 
 	used := 0
-	for _, sp := range spares {
+	for _, sp := range st.spares {
 		if sp.Used() > 0 {
 			used++
 		}
@@ -235,27 +254,30 @@ func (st *Steps) Collect(alsoFrom func(heap.Word) bool, extraRoots func(evac fun
 	}
 
 	// Rename: spare-spill steps are youngest, then the primary targets,
-	// then the old steps 1..j as the new oldest steps.
-	newSteps := make([]*heap.Space, 0, k+used)
+	// then the old steps 1..j as the new oldest steps. The renamed lists
+	// build in spare buffers that swap with the live ones, so the old
+	// backing arrays become next collection's scratch.
+	newSteps := st.stepsBuf[:0]
 	for i := used - 1; i >= 0; i-- {
-		newSteps = append(newSteps, spares[i])
+		newSteps = append(newSteps, st.spares[i])
 	}
 	newSteps = append(newSteps, primary...)
 	collected := st.steps[j:]
 	newSteps = append(newSteps, st.steps[:j]...)
 
-	newShadows := make([]*heap.Space, 0, k+used)
+	newShadows := st.shadowsBuf[:0]
 	for _, s := range collected {
 		s.Reset()
 		newShadows = append(newShadows, s)
 	}
-	newShadows = append(newShadows, spares[used:]...)
+	newShadows = append(newShadows, st.spares[used:]...)
 	for len(newShadows) < len(newSteps) {
 		newShadows = append(newShadows,
 			st.H.NewSpace(fmt.Sprintf("np-shadow-%d", len(newShadows)), st.StepWords))
 	}
 
-	st.steps, st.shadows = newSteps, newShadows
+	st.steps, st.stepsBuf = newSteps, st.steps
+	st.shadows, st.shadowsBuf = newShadows, st.shadows
 	st.rebuildPos()
 	st.RecomputeAllocIdx()
 	if st.j > st.K()-1 {

@@ -1,0 +1,47 @@
+// Race conformance: the simulated Heap is single-threaded by design, and
+// the parallelism the experiment runner exploits is across heaps. These
+// tests pin that contract down under the race detector — every collector
+// runs concurrently on its own heap, and the decay experiment produces the
+// same measurements no matter how many goroutines run it at once.
+package conformance
+
+import (
+	"fmt"
+	"testing"
+
+	"rdgc/internal/experiments"
+	"rdgc/internal/gc/gctest"
+	"rdgc/internal/heap"
+)
+
+// TestCollectorsConcurrently drives every collector at the same time, each
+// on a separate heap, via parallel subtests. Under `go test -race` this
+// fails if any collector (or the heap, remset, or step machinery under it)
+// touches shared mutable state.
+func TestCollectorsConcurrently(t *testing.T) {
+	for name, mk := range collectors() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			h := heap.New()
+			c := mk(h)
+			gctest.RandomOps(t, h, c, ops, 7)
+		})
+	}
+}
+
+// TestDecayDeterministicUnderConcurrency runs the same decay-model cell on
+// several goroutines at once and requires every copy to reproduce the
+// sequential golden result exactly — the determinism the drivers' -parallel
+// flag depends on.
+func TestDecayDeterministicUnderConcurrency(t *testing.T) {
+	cfg := experiments.DecayConfig{HalfLife: 256, L: 3, G: 0.25, Steps: 20000}
+	golden := experiments.RunNonPredictive(cfg)
+	for i := 0; i < 8; i++ {
+		t.Run(fmt.Sprintf("copy%d", i), func(t *testing.T) {
+			t.Parallel()
+			if got := experiments.RunNonPredictive(cfg); got != golden {
+				t.Errorf("concurrent run diverged:\n got %+v\nwant %+v", got, golden)
+			}
+		})
+	}
+}

@@ -31,24 +31,25 @@ type shadowState struct {
 	rng     *rand.Rand
 }
 
-// randomValue picks an existing root's value or a fresh immediate.
-func (st *shadowState) randomValue() (heap.Word, any) {
+// randomValue picks an existing root's value or a fresh value, returning a
+// Ref pushed in the caller's open scope. A Ref (not a raw Word) is
+// essential: flonums are heap-allocated, and a later allocation in the same
+// operation can trigger a collection that moves them — a raw Word would
+// dangle, storing a stale pointer into the structure under test.
+func (st *shadowState) randomValue() (heap.Ref, any) {
 	if len(st.roots) > 0 && st.rng.Intn(3) > 0 {
 		i := st.rng.Intn(len(st.roots))
-		return st.h.Get(st.roots[i]), st.shadows[i]
+		return st.h.Dup(st.roots[i]), st.shadows[i]
 	}
 	switch st.rng.Intn(3) {
 	case 0:
 		n := st.rng.Int63n(1000)
-		return heap.FixnumWord(n), n
+		return st.h.Fix(n), n
 	case 1:
 		f := float64(st.rng.Intn(100)) / 4
-		s := st.h.Scope()
-		w := st.h.Get(st.h.Flonum(f))
-		s.Close()
-		return w, f
+		return st.h.Flonum(f), f
 	default:
-		return heap.NullWord, nil
+		return st.h.Null(), nil
 	}
 }
 
@@ -83,16 +84,16 @@ func RandomOps(t *testing.T, h *heap.Heap, c heap.Collector, n int, seed int64) 
 		switch st.rng.Intn(10) {
 		case 0, 1, 2: // cons
 			s := h.Scope()
-			w1, sh1 := st.randomValue()
-			w2, sh2 := st.randomValue()
-			p := h.Cons(h.RefOf(w1), h.RefOf(w2))
+			r1, sh1 := st.randomValue()
+			r2, sh2 := st.randomValue()
+			p := h.Cons(r1, r2)
 			st.addRoot(h.Get(p), &shadowPair{car: sh1, cdr: sh2})
 			s.Close()
 		case 3: // make-vector
 			s := h.Scope()
 			size := st.rng.Intn(6)
-			w, sh := st.randomValue()
-			v := h.MakeVector(size, h.RefOf(w))
+			r, sh := st.randomValue()
+			v := h.MakeVector(size, r)
 			elems := make([]any, size)
 			for i := range elems {
 				elems[i] = sh
@@ -102,14 +103,14 @@ func RandomOps(t *testing.T, h *heap.Heap, c heap.Collector, n int, seed int64) 
 		case 4: // set-car!/set-cdr!
 			if i, ok := st.pick(isPair); ok {
 				s := h.Scope()
-				w, sh := st.randomValue()
+				r, sh := st.randomValue()
 				sp := st.shadows[i].(*shadowPair)
 				target := h.RefOf(st.h.Get(st.roots[i]))
 				if st.rng.Intn(2) == 0 {
-					h.SetCar(target, h.RefOf(w))
+					h.SetCar(target, r)
 					sp.car = sh
 				} else {
-					h.SetCdr(target, h.RefOf(w))
+					h.SetCdr(target, r)
 					sp.cdr = sh
 				}
 				s.Close()
@@ -119,9 +120,9 @@ func RandomOps(t *testing.T, h *heap.Heap, c heap.Collector, n int, seed int64) 
 				sv := st.shadows[i].(*shadowVec)
 				if len(sv.elems) > 0 {
 					s := h.Scope()
-					w, sh := st.randomValue()
+					r, sh := st.randomValue()
 					slot := st.rng.Intn(len(sv.elems))
-					h.VectorSet(h.RefOf(st.h.Get(st.roots[i])), slot, h.RefOf(w))
+					h.VectorSet(h.RefOf(st.h.Get(st.roots[i])), slot, r)
 					sv.elems[slot] = sh
 					s.Close()
 				}

@@ -26,6 +26,15 @@ type Collector struct {
 	rs      remset.Set
 	stats   heap.GCStats
 
+	// evac is the persistent Cheney engine; the stored predicates and the
+	// remembered-set root visitor are created once so steady-state minor
+	// collections allocate nothing.
+	evac        *heap.Evacuator
+	minorFrom   func(heap.Word) bool
+	majorFrom   func(heap.Word) bool
+	oldOnlyFrom func(heap.Word) bool
+	remsetRoot  func(heap.Word)
+
 	expand float64
 }
 
@@ -56,6 +65,17 @@ func New(h *heap.Heap, nurseryWords, oldWords int, opts ...Option) *Collector {
 		oldFrom: h.NewSpace("old-A", oldWords),
 		oldTo:   h.NewSpace("old-B", oldWords),
 		rs:      remset.NewHashSet(),
+	}
+	c.minorFrom = func(w heap.Word) bool { return heap.PtrSpace(w) == c.nursery.ID }
+	c.majorFrom = func(w heap.Word) bool {
+		id := heap.PtrSpace(w)
+		return id == c.nursery.ID || id == c.oldFrom.ID
+	}
+	c.oldOnlyFrom = func(w heap.Word) bool { return heap.PtrSpace(w) == c.oldFrom.ID }
+	c.evac = heap.NewEvacuator(h, nil)
+	c.remsetRoot = func(w heap.Word) {
+		c.stats.RemsetScanned++
+		heap.ScanObject(c.h.SpaceOf(w), heap.PtrOff(w), c.evac.Slot())
 	}
 	for _, o := range opts {
 		o(c)
@@ -129,11 +149,11 @@ func (c *Collector) minor() {
 		c.major(c.nursery.Used())
 		return
 	}
-	e := heap.NewEvacuator(c.h, func(w heap.Word) bool {
-		return heap.PtrSpace(w) == c.nursery.ID
-	}, c.oldFrom)
-	c.h.VisitRoots(e.Evacuate)
-	c.scanRemset(e)
+	e := c.evac
+	e.InFrom = c.minorFrom
+	e.Begin(c.oldFrom)
+	e.EvacuateRoots()
+	c.scanRemset()
 	e.Drain()
 	c.nursery.Reset()
 	// Promotion empties the nursery, so no old-to-young pointers remain.
@@ -150,11 +170,8 @@ func (c *Collector) minor() {
 // scanRemset treats every remembered object's fields as roots for a minor
 // collection. Remembered objects may themselves be dead ("nepotism"); their
 // nursery referents are conservatively retained, as in real collectors.
-func (c *Collector) scanRemset(e *heap.Evacuator) {
-	c.rs.ForEach(func(w heap.Word) {
-		c.stats.RemsetScanned++
-		heap.ScanObject(c.h.SpaceOf(w), heap.PtrOff(w), e.Evacuate)
-	})
+func (c *Collector) scanRemset() {
+	c.rs.ForEach(c.remsetRoot)
 }
 
 // major collects both generations into the old to-space and flips.
@@ -166,10 +183,9 @@ func (c *Collector) major(need int) {
 			c.oldTo.Mem = make([]heap.Word, worst)
 		}
 	}
-	e := heap.NewEvacuator(c.h, func(w heap.Word) bool {
-		id := heap.PtrSpace(w)
-		return id == c.nursery.ID || id == c.oldFrom.ID
-	}, c.oldTo)
+	e := c.evac
+	e.InFrom = c.majorFrom
+	e.Begin(c.oldTo)
 	e.Run()
 	c.nursery.Reset()
 	c.oldFrom.Reset()
@@ -192,9 +208,8 @@ func (c *Collector) major(need int) {
 		if want > c.oldFrom.Cap() {
 			// Grow the active space too: copy once more into the (bigger)
 			// to-space and flip back.
-			e := heap.NewEvacuator(c.h, func(w heap.Word) bool {
-				return heap.PtrSpace(w) == c.oldFrom.ID
-			}, c.oldTo)
+			e.InFrom = c.oldOnlyFrom
+			e.Begin(c.oldTo)
 			e.Run()
 			c.oldFrom.Reset()
 			c.oldFrom.Mem = make([]heap.Word, want)

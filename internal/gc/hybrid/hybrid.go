@@ -37,6 +37,20 @@ type Collector struct {
 	policy    core.JPolicy
 	allowGrow bool
 
+	// Persistent machinery for the collection hot paths, created once in New
+	// so steady-state promoting collections allocate nothing: the Cheney
+	// engine, the nursery predicate, the remembered-set root visitors, and a
+	// reusable target-list buffer.
+	evac        *heap.Evacuator
+	inNursery   func(heap.Word) bool
+	rsARoot     func(obj heap.Word)
+	promoRegion func(s *heap.Space, from, to int)
+	npScan      func(obj heap.Word)
+	npExtra     func(evac func(slot *heap.Word))
+	npEvac      func(slot *heap.Word)
+	rememberB   func(obj heap.Word)
+	targetsBuf  []*heap.Space
+
 	stats heap.GCStats
 }
 
@@ -73,6 +87,32 @@ func New(h *heap.Heap, nurseryWords, k, stepWords int, opts ...Option) *Collecto
 	for _, o := range opts {
 		o(c)
 	}
+	c.inNursery = func(w heap.Word) bool { return heap.PtrSpace(w) == c.nursery.ID }
+	c.evac = heap.NewEvacuator(h, nil)
+	c.rsARoot = func(obj heap.Word) {
+		c.stats.RemsetScanned++
+		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), c.evac.Slot())
+	}
+	c.promoRegion = func(s *heap.Space, from, to int) { c.scanPromoted(s, from) }
+	c.npScan = func(obj heap.Word) {
+		// Remembered objects in the uncollected steps 1..j may hold the only
+		// pointers into the nursery (set A) or into steps j+1..k (set B);
+		// their fields are roots. Entries located inside the collected region
+		// must be skipped: they are scanned when copied, and their old
+		// headers may already hold forwarding pointers.
+		if c.st.InOld(obj) || heap.PtrSpace(obj) == c.nursery.ID {
+			return
+		}
+		c.stats.RemsetScanned++
+		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), c.npEvac)
+	}
+	c.npExtra = func(evac func(slot *heap.Word)) {
+		c.npEvac = evac
+		c.rsA.ForEach(c.npScan)
+		c.rsB.ForEach(c.npScan)
+		c.npEvac = nil
+	}
+	c.rememberB = c.rsB.Remember
 	c.st.SetJ(c.policy.ChooseJ(k, k))
 	h.SetAllocator(c)
 	h.SetBarrier(c)
@@ -178,19 +218,11 @@ func (c *Collector) minor() {
 		c.npCollect()
 		return
 	}
-	preTops := make([]int, len(targets))
-	for i, t := range targets {
-		preTops[i] = t.Top
-	}
-
-	e := heap.NewEvacuator(c.h, func(w heap.Word) bool {
-		return heap.PtrSpace(w) == c.nursery.ID
-	}, targets...)
-	c.h.VisitRoots(e.Evacuate)
-	c.rsA.ForEach(func(obj heap.Word) {
-		c.stats.RemsetScanned++
-		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), e.Evacuate)
-	})
+	e := c.evac
+	e.InFrom = c.inNursery
+	e.Begin(targets...)
+	e.EvacuateRoots()
+	c.rsA.ForEach(c.rsARoot)
 	e.Drain()
 
 	c.nursery.Reset()
@@ -201,9 +233,7 @@ func (c *Collector) minor() {
 		// Situation 5: promoted objects pointing into steps j+1..k enter
 		// remembered set B. Only the freshly copied regions need scanning,
 		// and the paper notes the marginal cost of this test is small.
-		for i, tgt := range targets {
-			c.scanPromoted(tgt, preTops[i])
-		}
+		e.CopiedRegions(c.promoRegion)
 	}
 
 	c.stats.Collections++
@@ -223,14 +253,16 @@ func (c *Collector) regionFree(lo, hi int) int {
 }
 
 // regionTargets returns the steps in positions [lo, hi) that have free
-// space, highest-numbered first (the paper's promotion order).
+// space, highest-numbered first (the paper's promotion order). The result
+// shares the collector's reusable buffer and is valid until the next call.
 func (c *Collector) regionTargets(lo, hi int) []*heap.Space {
-	var out []*heap.Space
+	out := c.targetsBuf[:0]
 	for p := hi - 1; p >= lo; p-- {
 		if c.st.Step(p).Free() > 0 {
 			out = append(out, c.st.Step(p))
 		}
 	}
+	c.targetsBuf = out
 	return out
 }
 
@@ -256,27 +288,7 @@ func (c *Collector) scanPromoted(s *heap.Space, from int) {
 // the nursery along with it ("a non-predictive collection always promotes
 // all live objects out of the ephemeral area", §8.4).
 func (c *Collector) npCollect() {
-	nursery := c.nursery
-	copied := c.st.Collect(
-		func(w heap.Word) bool { return heap.PtrSpace(w) == nursery.ID },
-		func(evac func(slot *heap.Word)) {
-			// Remembered objects in the uncollected steps 1..j may hold the
-			// only pointers into the nursery (set A) or into steps j+1..k
-			// (set B); their fields are roots. Entries located inside the
-			// collected region must be skipped: they are scanned when
-			// copied, and their old headers may already hold forwarding
-			// pointers.
-			scan := func(obj heap.Word) {
-				if c.st.InOld(obj) || heap.PtrSpace(obj) == nursery.ID {
-					return
-				}
-				c.stats.RemsetScanned++
-				heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), evac)
-			}
-			c.rsA.ForEach(scan)
-			c.rsB.ForEach(scan)
-		},
-		c.allowGrow)
+	copied := c.st.Collect(c.inNursery, c.npExtra, c.allowGrow)
 
 	c.nursery.Reset()
 	c.rsA.Clear()
@@ -291,7 +303,7 @@ func (c *Collector) npCollect() {
 		}
 	}
 	c.st.SetJ(c.policy.ChooseJ(c.st.EmptyYoungest(), c.st.K()))
-	c.st.ScanYoungForOldPointers(c.rsB.Remember)
+	c.st.ScanYoungForOldPointers(c.rememberB)
 
 	c.stats.Collections++
 	c.stats.MajorCollections++

@@ -26,6 +26,10 @@ type Collector struct {
 	inHeap   []bool // indexed by SpaceID
 	stats    heap.GCStats
 
+	// marker is the persistent tracing engine, re-armed per collection so
+	// steady-state collections allocate nothing.
+	marker *heap.Marker
+
 	expand float64
 }
 
@@ -45,7 +49,7 @@ func WithExpansion(invLoad float64) Option {
 // New creates a mark/sweep collector with an initial space of the given
 // size and installs it as h's allocator.
 func New(h *heap.Heap, words int, opts ...Option) *Collector {
-	c := &Collector{h: h}
+	c := &Collector{h: h, marker: heap.NewMarker(h, nil)}
 	for _, o := range opts {
 		o(c)
 	}
@@ -181,7 +185,8 @@ func (c *Collector) setNextFree(s *heap.Space, off, next int) {
 // Collect implements heap.Collector: mark from roots, then sweep every
 // space, rebuilding the free lists with coalescing.
 func (c *Collector) Collect() {
-	m := heap.NewMarker(c.h, nil)
+	m := c.marker
+	m.Begin()
 	m.Run()
 	c.stats.WordsMarked += m.WordsMarked
 	c.stats.Collections++

@@ -18,6 +18,10 @@ type Collector struct {
 	to    *heap.Space
 	stats heap.GCStats
 
+	// evac is the persistent Cheney engine, re-armed per collection so
+	// steady-state collections allocate nothing.
+	evac *heap.Evacuator
+
 	// expand > 0 enables growth: after a collection that leaves the heap
 	// more than 1/expand full, both semispaces grow to live*expand words.
 	expand float64
@@ -44,6 +48,9 @@ func New(h *heap.Heap, semiWords int, opts ...Option) *Collector {
 		from: h.NewSpace("semispace-A", semiWords),
 		to:   h.NewSpace("semispace-B", semiWords),
 	}
+	c.evac = heap.NewEvacuator(h, func(w heap.Word) bool {
+		return heap.PtrSpace(w) == c.from.ID
+	})
 	for _, o := range opts {
 		o(c)
 	}
@@ -82,9 +89,8 @@ func (c *Collector) AllocRaw(t heap.Type, payload int) heap.Word {
 func (c *Collector) Collect() { c.collect(0) }
 
 func (c *Collector) collect(need int) {
-	e := heap.NewEvacuator(c.h, func(w heap.Word) bool {
-		return heap.PtrSpace(w) == c.from.ID
-	}, c.to)
+	e := c.evac
+	e.Begin(c.to)
 	e.Run()
 	c.from.Reset()
 	c.from, c.to = c.to, c.from
@@ -104,9 +110,7 @@ func (c *Collector) collect(need int) {
 		if want > c.from.Cap() {
 			// Grow the empty to-space, copy into it, then grow the other.
 			c.to.Mem = make([]heap.Word, want)
-			e := heap.NewEvacuator(c.h, func(w heap.Word) bool {
-				return heap.PtrSpace(w) == c.from.ID
-			}, c.to)
+			e.Begin(c.to)
 			e.Run()
 			c.from.Reset()
 			c.from.Mem = make([]heap.Word, want)

@@ -7,10 +7,15 @@ import "fmt"
 // non-predictive collector's older-first collections — is an Evacuator run
 // with a different from-region predicate and target list.
 //
-// Usage: configure H, InFrom, and Targets; call Evacuate on every root slot
-// (and remembered-set slot); then call Drain. After Drain returns, every
-// object reachable from the visited slots has been copied out of the
-// from-region and all copied slots have been updated.
+// An Evacuator is built once per collector and re-armed with Begin before
+// each collection: the target list and Cheney scan state reuse their
+// backing arrays, so steady-state collections allocate nothing.
+//
+// Usage: configure H and InFrom; call Begin with the collection's targets;
+// call Evacuate on every root slot (and remembered-set slot); then call
+// Drain. After Drain returns, every object reachable from the visited slots
+// has been copied out of the from-region and all copied slots have been
+// updated.
 type Evacuator struct {
 	H      *Heap
 	InFrom func(w Word) bool // does this pointer target the from-region?
@@ -30,6 +35,10 @@ type Evacuator struct {
 	// scan[i] is the per-target scan cursor for the gray region.
 	scan []int
 
+	// evacSlot is the stored slot-visitor closure, created once so passing
+	// it to VisitRoots/ScanObject never allocates.
+	evacSlot func(slot *Word)
+
 	WordsCopied   uint64
 	ObjectsCopied int
 }
@@ -37,15 +46,32 @@ type Evacuator struct {
 // NewEvacuator prepares an engine whose copies land in targets, recording
 // the current tops so only newly copied objects are scanned.
 func NewEvacuator(h *Heap, inFrom func(w Word) bool, targets ...*Space) *Evacuator {
-	e := &Evacuator{H: h, InFrom: inFrom, Targets: targets}
-	e.scanBase = make([]int, len(targets))
-	e.scan = make([]int, len(targets))
-	for i, t := range targets {
-		e.scanBase[i] = t.Top
-		e.scan[i] = t.Top
-	}
+	e := &Evacuator{H: h, InFrom: inFrom}
+	e.evacSlot = e.Evacuate
+	e.Begin(targets...)
 	return e
 }
+
+// Begin re-arms the evacuator for a new collection whose copies land in
+// targets: the work counters reset, the current target tops are recorded as
+// scan bases, and all internal slices reuse their backing arrays. InFrom
+// and Overflow are left as configured.
+func (e *Evacuator) Begin(targets ...*Space) {
+	e.Targets = append(e.Targets[:0], targets...)
+	e.scanBase = e.scanBase[:0]
+	e.scan = e.scan[:0]
+	for _, t := range e.Targets {
+		e.scanBase = append(e.scanBase, t.Top)
+		e.scan = append(e.scan, t.Top)
+	}
+	e.WordsCopied = 0
+	e.ObjectsCopied = 0
+}
+
+// Slot returns the evacuator's stored slot-visitor function. Passing it to
+// a root iterator (instead of the Evacuate method value) avoids allocating
+// a fresh bound-method closure at every collection.
+func (e *Evacuator) Slot() func(slot *Word) { return e.evacSlot }
 
 // Evacuate processes one slot: if it holds a pointer into the from-region,
 // the target object is copied (or its existing forwarding followed) and the
@@ -100,7 +126,7 @@ func (e *Evacuator) Drain() {
 				progress = true
 				off := e.scan[i]
 				hdr := t.Mem[off]
-				ScanObject(t, off, e.Evacuate)
+				ScanObject(t, off, e.evacSlot)
 				e.scan[i] = off + ObjWords(hdr)
 			}
 		}
@@ -110,10 +136,26 @@ func (e *Evacuator) Drain() {
 	}
 }
 
+// EvacuateRoots evacuates every heap root slot without draining; callers
+// with extra roots (remembered sets) evacuate those next, then Drain.
+func (e *Evacuator) EvacuateRoots() { e.H.VisitRoots(e.evacSlot) }
+
+// CopiedRegions calls f for every target region that received copies during
+// this run, with the offset where the run's copies began and the current
+// top. Collectors use it to rescan exactly the promoted objects (e.g. the
+// hybrid's situation-5 remembered-set rebuild).
+func (e *Evacuator) CopiedRegions(f func(s *Space, from, to int)) {
+	for i, t := range e.Targets {
+		if e.scanBase[i] < t.Top {
+			f(t, e.scanBase[i], t.Top)
+		}
+	}
+}
+
 // Run is the common whole-collection shape: evacuate all heap roots, then
 // drain. Collectors with extra roots (remembered sets) evacuate those
 // explicitly before calling Drain instead.
 func (e *Evacuator) Run() {
-	e.H.VisitRoots(e.Evacuate)
+	e.EvacuateRoots()
 	e.Drain()
 }

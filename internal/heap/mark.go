@@ -4,6 +4,10 @@ package heap
 // moving anything. The mark/sweep collector and the lifetime census both
 // use it; they differ only in the region predicate and in what they do with
 // the marks afterwards.
+//
+// A Marker is built once per collector and re-armed with Begin before each
+// collection: the mark stack keeps its capacity across collections, so
+// steady-state collections allocate nothing.
 type Marker struct {
 	H *Heap
 	// InRegion bounds the trace: pointers to objects outside the region are
@@ -11,6 +15,9 @@ type Marker struct {
 	InRegion func(w Word) bool
 
 	stack []Word
+	// markSlot is the stored slot-visitor closure, created once so passing
+	// it to VisitRoots/ScanObject never allocates.
+	markSlot func(slot *Word)
 
 	WordsMarked   uint64
 	ObjectsMarked int
@@ -19,7 +26,17 @@ type Marker struct {
 // NewMarker prepares a whole-heap marker when inRegion is nil, or a
 // region-bounded one otherwise.
 func NewMarker(h *Heap, inRegion func(w Word) bool) *Marker {
-	return &Marker{H: h, InRegion: inRegion}
+	m := &Marker{H: h, InRegion: inRegion}
+	m.markSlot = func(slot *Word) { m.MarkWord(*slot) }
+	return m
+}
+
+// Begin re-arms the marker for another collection: the work counters reset
+// and the mark stack empties while retaining its capacity.
+func (m *Marker) Begin() {
+	m.stack = m.stack[:0]
+	m.WordsMarked = 0
+	m.ObjectsMarked = 0
 }
 
 // MarkWord marks the object w points to (if any) and queues it for scanning.
@@ -48,13 +65,13 @@ func (m *Marker) Drain() {
 		w := m.stack[len(m.stack)-1]
 		m.stack = m.stack[:len(m.stack)-1]
 		s := m.H.SpaceOf(w)
-		ScanObject(s, PtrOff(w), func(slot *Word) { m.MarkWord(*slot) })
+		ScanObject(s, PtrOff(w), m.markSlot)
 	}
 }
 
 // Run marks everything reachable from the heap's roots.
 func (m *Marker) Run() {
-	m.H.VisitRoots(func(slot *Word) { m.MarkWord(*slot) })
+	m.H.VisitRoots(m.markSlot)
 	m.Drain()
 }
 

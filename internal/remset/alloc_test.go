@@ -1,0 +1,70 @@
+package remset
+
+import (
+	"testing"
+
+	"rdgc/internal/heap"
+)
+
+// visitCount is a package-level sink so the visitor closure below is a
+// single static allocation, keeping the measured cycle's count at the sets'
+// own allocations.
+var visitCount int
+
+var countVisitor = func(heap.Word) { visitCount++ }
+
+// barrierLoad simulates one inter-collection window of write-barrier
+// traffic: repeated Remembers (with duplicates) followed by a scan and a
+// Clear, which is exactly the per-minor-collection hot path.
+func barrierLoad(s Set, words []heap.Word) int {
+	for _, w := range words {
+		s.Remember(w)
+	}
+	visitCount = 0
+	s.ForEach(countVisitor)
+	s.Clear()
+	return visitCount
+}
+
+func loadWords(n int) []heap.Word {
+	words := make([]heap.Word, 0, n)
+	for i := 0; i < n; i++ {
+		// Walk a small window so roughly half the Remembers are duplicates.
+		words = append(words, heap.PtrWord(3, (i*7)%(n/2)*8))
+	}
+	return words
+}
+
+// TestSteadyStateZeroAllocs is the acceptance guard for the remembered-set
+// hot path: after the first collection's warmup, a full
+// Remember/ForEach/Clear cycle must not allocate a single Go object.
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	words := loadWords(256)
+	for name, mk := range impls() {
+		s := mk()
+		barrierLoad(s, words) // warmup: tables and scratch buffers size up
+		allocs := testing.AllocsPerRun(20, func() {
+			barrierLoad(s, words)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: steady-state Remember/ForEach/Clear allocates %.0f objects/run, want 0", name, allocs)
+		}
+	}
+}
+
+func BenchmarkBarrierCycleHashSet(b *testing.B) {
+	benchBarrierCycle(b, NewHashSet())
+}
+
+func BenchmarkBarrierCycleSSB(b *testing.B) {
+	benchBarrierCycle(b, NewSSB())
+}
+
+func benchBarrierCycle(b *testing.B, s Set) {
+	words := loadWords(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		barrierLoad(s, words)
+	}
+}

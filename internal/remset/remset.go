@@ -5,10 +5,22 @@
 //
 // Two representations are provided — a hash set and a sequential store
 // buffer — because their trade-off is one of the ablations this repository
-// measures. Both deduplicate: the SSB defers deduplication to scan time.
+// measures. Both deduplicate: the SSB defers deduplication to scan time and
+// preserves first-seen order when it does (the order in which the write
+// barrier first recorded each object).
+//
+// Both representations sit on every collection's critical path, so neither
+// allocates in steady state: the hash set is an open-addressing table of
+// words that is cleared (not discarded) between collections, and the SSB
+// deduplicates with reusable sorted scratch buffers instead of a per-scan
+// Go map.
 package remset
 
-import "rdgc/internal/heap"
+import (
+	"slices"
+
+	"rdgc/internal/heap"
+)
 
 // Set is a remembered set of object pointer words.
 type Set interface {
@@ -25,35 +37,100 @@ type Set interface {
 	Peak() int
 }
 
-// HashSet is the default remembered-set representation.
+// HashSet is the default remembered-set representation: an open-addressing
+// hash table of pointer words with linear probing. Entries are always
+// tagged pointer words, which are never zero, so the zero word marks an
+// empty slot; Clear is a memset and the table is retained across
+// collections, so steady-state collections allocate nothing.
 type HashSet struct {
-	m    map[heap.Word]struct{}
-	peak int
+	table []heap.Word // power-of-two length; 0 = empty slot
+	n     int
+	peak  int
 }
 
+// hashSetMinCap is the initial table size; it must be a power of two.
+const hashSetMinCap = 64
+
 // NewHashSet creates an empty hash-based remembered set.
-func NewHashSet() *HashSet { return &HashSet{m: make(map[heap.Word]struct{})} }
+func NewHashSet() *HashSet { return &HashSet{} }
+
+// hashWord is a 64-bit finalizer-style mix (splitmix64's output stage):
+// pointer words differ mostly in a few middle bits, so every bit must
+// influence the table index.
+func hashWord(w heap.Word) uint64 {
+	x := uint64(w)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
 
 // Remember implements Set.
 func (s *HashSet) Remember(w heap.Word) {
-	s.m[w] = struct{}{}
-	if len(s.m) > s.peak {
-		s.peak = len(s.m)
+	if w == 0 {
+		panic("remset: the zero word is not a valid entry")
+	}
+	if 4*(s.n+1) > 3*len(s.table) {
+		s.grow()
+	}
+	mask := uint64(len(s.table) - 1)
+	i := hashWord(w) & mask
+	for {
+		switch s.table[i] {
+		case 0:
+			s.table[i] = w
+			s.n++
+			if s.n > s.peak {
+				s.peak = s.n
+			}
+			return
+		case w:
+			return
+		}
+		i = (i + 1) & mask
 	}
 }
 
-// ForEach implements Set.
+func (s *HashSet) grow() {
+	old := s.table
+	newCap := hashSetMinCap
+	if len(old) > 0 {
+		newCap = 2 * len(old)
+	}
+	s.table = make([]heap.Word, newCap)
+	mask := uint64(newCap - 1)
+	for _, w := range old {
+		if w == 0 {
+			continue
+		}
+		i := hashWord(w) & mask
+		for s.table[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.table[i] = w
+	}
+}
+
+// ForEach implements Set. Visit order is table order, which is stable for a
+// given insertion history (unlike a Go map's randomized iteration).
 func (s *HashSet) ForEach(f func(w heap.Word)) {
-	for w := range s.m {
-		f(w)
+	for _, w := range s.table {
+		if w != 0 {
+			f(w)
+		}
 	}
 }
 
-// Clear implements Set.
-func (s *HashSet) Clear() { clear(s.m) }
+// Clear implements Set. The table is zeroed in place, not discarded.
+func (s *HashSet) Clear() {
+	clear(s.table)
+	s.n = 0
+}
 
 // Len implements Set.
-func (s *HashSet) Len() int { return len(s.m) }
+func (s *HashSet) Len() int { return s.n }
 
 // Peak implements Set.
 func (s *HashSet) Peak() int { return s.peak }
@@ -62,8 +139,23 @@ func (s *HashSet) Peak() int { return s.peak }
 // checking for duplicates, and scans deduplicate. This is the cheap-barrier
 // representation used by several production collectors.
 type SSB struct {
-	buf  []heap.Word
+	buf []heap.Word
+
+	// scratch and keep are reusable dedup workspaces; their capacity is
+	// retained across collections so steady-state dedup allocates nothing.
+	scratch []ssbEntry
+	keep    []int32
+
 	peak int
+}
+
+// ssbEntry pairs a buffered word with its first-seen position, so a sort by
+// (word, position) exposes duplicates while remembering where the first
+// occurrence sat. Positions are int32: a buffer of 2^31 entries would be a
+// 16 GiB remembered set, far beyond any workload here.
+type ssbEntry struct {
+	w  heap.Word
+	at int32
 }
 
 // NewSSB creates an empty sequential store buffer.
@@ -72,18 +164,44 @@ func NewSSB() *SSB { return &SSB{} }
 // Remember implements Set.
 func (s *SSB) Remember(w heap.Word) { s.buf = append(s.buf, w) }
 
-// dedup compacts the buffer to distinct entries, preserving first-seen order.
+// dedup compacts the buffer to distinct entries, preserving first-seen
+// order: entries are sorted by (word, position), the first position of each
+// distinct word is kept, and the survivors are rewritten in position order.
 func (s *SSB) dedup() {
-	seen := make(map[heap.Word]struct{}, len(s.buf))
-	out := s.buf[:0]
-	for _, w := range s.buf {
-		if _, dup := seen[w]; dup {
-			continue
+	if len(s.buf) > 1 {
+		s.scratch = s.scratch[:0]
+		for i, w := range s.buf {
+			s.scratch = append(s.scratch, ssbEntry{w: w, at: int32(i)})
 		}
-		seen[w] = struct{}{}
-		out = append(out, w)
+		slices.SortFunc(s.scratch, func(a, b ssbEntry) int {
+			switch {
+			case a.w != b.w:
+				if a.w < b.w {
+					return -1
+				}
+				return 1
+			case a.at != b.at:
+				if a.at < b.at {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+		s.keep = s.keep[:0]
+		for i, e := range s.scratch {
+			if i == 0 || e.w != s.scratch[i-1].w {
+				s.keep = append(s.keep, e.at)
+			}
+		}
+		slices.Sort(s.keep)
+		// keep is ascending and the i-th kept position is >= i, so the
+		// compaction below never overwrites an entry it has yet to read.
+		for i, at := range s.keep {
+			s.buf[i] = s.buf[at]
+		}
+		s.buf = s.buf[:len(s.keep)]
 	}
-	s.buf = out
 	if len(s.buf) > s.peak {
 		s.peak = len(s.buf)
 	}
