@@ -2,8 +2,11 @@
 # conformance pass that backs the parallel experiment runner.
 
 GO ?= go
+BENCH_OUT ?= BENCH_PR2.json
+BENCH_BASE ?= BENCH_PR2.json
+BENCH_NOW ?= /tmp/rdgc-bench-now.json
 
-.PHONY: all build vet test race tier1 ci bench
+.PHONY: all build vet test race tier1 ci bench bench-compare
 
 all: ci
 
@@ -24,5 +27,15 @@ tier1: build test
 ci:
 	./ci.sh
 
+# bench runs the Go microbenchmarks, then measures the tracing engines and
+# the full collector grid and writes the machine-readable report (the file
+# checked in as BENCH_PR2.json).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+	$(GO) run ./cmd/benchreport -out $(BENCH_OUT)
+
+# bench-compare takes a fresh measurement and diffs it against the checked-in
+# baseline (override BENCH_BASE to diff against another BENCH_*.json).
+bench-compare:
+	$(GO) run ./cmd/benchreport -out $(BENCH_NOW)
+	$(GO) run ./cmd/benchreport -compare $(BENCH_BASE) $(BENCH_NOW)

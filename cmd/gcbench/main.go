@@ -9,6 +9,8 @@
 // Benchmark rows are independent cells, so they run on a worker pool
 // (-parallel, default GOMAXPROCS); stdout is byte-identical for any worker
 // count. -json emits the per-cell measurements as JSON instead of the table.
+// -cpuprofile and -memprofile write pprof profiles of the run, so hot-path
+// work starts from a measurement.
 package main
 
 import (
@@ -17,6 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rdgc/internal/bench"
 	"rdgc/internal/experiments"
@@ -40,9 +44,44 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
 	progress := flag.Bool("progress", false, "report per-cell completion and wall-clock to stderr")
 	jsonOut := flag.Bool("json", false, "emit per-cell measurements as JSON instead of the table")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile to `file` before exiting")
 	flag.Parse()
 
-	if *table2 {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(1)
+		}
+	}
+	// run holds the early-returning body so the profile teardown below
+	// covers every exit path.
+	run(*table2, *quick, *withHybrid, *parallel, *progress, *jsonOut)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(1)
+		}
+		runtime.GC() // materialize up-to-date allocation stats
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+}
+
+func run(table2Only, quick, withHybrid bool, parallel int, progress, jsonOut bool) {
+	if table2Only {
 		fmt.Println("Table 2: benchmark inventory (Go reimplementation)")
 		for _, i := range bench.Table2() {
 			fmt.Printf("  %-10s %5d lines   %s\n", i.Name, i.Lines, i.Description)
@@ -51,7 +90,7 @@ func main() {
 	}
 
 	progs := bench.Standard()
-	if *quick {
+	if quick {
 		progs = bench.Quick()
 	}
 	cfg := experiments.DefaultTable3Config()
@@ -67,7 +106,7 @@ func main() {
 					return rowResult{}, err
 				}
 				rr := rowResult{row: row}
-				if *withHybrid {
+				if withHybrid {
 					rr.hres, rr.remA, rr.remB = runHybrid(p, row)
 				}
 				return rr, nil
@@ -79,19 +118,19 @@ func main() {
 		}
 	}
 	var pw io.Writer
-	if *progress {
+	if progress {
 		pw = os.Stderr
 	}
-	results := runner.Run(specs, runner.Options{Workers: *parallel, Progress: pw})
+	results := runner.Run(specs, runner.Options{Workers: parallel, Progress: pw})
 
-	if *jsonOut {
-		emitJSON(results, *withHybrid)
+	if jsonOut {
+		emitJSON(results, withHybrid)
 		return
 	}
 
 	fmt.Println("Table 3: storage allocation and garbage collection overheads")
 	fmt.Printf("%-10s %12s %12s %12s %8s %8s", "name", "alloc (Mw)", "peak (Kw)", "semi (Kw)", "s&c", "gen")
-	if *withHybrid {
+	if withHybrid {
 		fmt.Printf(" %8s %10s", "hybrid", "remsets")
 	}
 	fmt.Println()
@@ -105,14 +144,14 @@ func main() {
 		fmt.Printf("%-10s %12.2f %12.0f %12.0f %7.1f%% %7.1f%%",
 			row.Program, float64(row.AllocWords)/1e6, float64(row.PeakWords)/1e3,
 			float64(row.SemiWords)/1e3, 100*row.GCRatioSC(), 100*row.GCRatioGen())
-		if *withHybrid {
+		if withHybrid {
 			hres := r.Value.hres
 			fmt.Printf(" %7.1f%% %5d/%4d", 100*float64(hres.GCWorkWords)/
 				(experiments.MutatorCostPerWord*float64(hres.WordsAllocated)),
 				r.Value.remA, r.Value.remB)
 		}
 		fmt.Println()
-		if *withHybrid && r.Value.hres.Err != nil {
+		if withHybrid && r.Value.hres.Err != nil {
 			fmt.Printf("  (hybrid error: %v)\n", r.Value.hres.Err)
 		}
 	}

@@ -37,12 +37,11 @@ type Steps struct {
 	j        int
 	allocIdx int // highest position with free space, or -1 when all full
 
-	// evac is the persistent Cheney engine; inFrom is its stored predicate,
-	// parameterized per collection through alsoFrom. The remaining slices
-	// are reusable scratch for the target list and the renaming, so
-	// steady-state collections allocate nothing.
+	// evac is the persistent Cheney engine, re-armed per collection with
+	// the from-set steps j+1..k (plus the caller's extra space). The
+	// remaining slices are reusable scratch for the target list and the
+	// renaming, so steady-state collections allocate nothing.
 	evac       *heap.Evacuator
-	alsoFrom   func(heap.Word) bool // extra from-region for this collection
 	overflow   func(int) *heap.Space
 	spares     []*heap.Space
 	targetsBuf []*heap.Space
@@ -62,12 +61,7 @@ func NewSteps(h *heap.Heap, k, stepWords int) *Steps {
 	for i := 0; i < k; i++ {
 		st.shadows = append(st.shadows, h.NewSpace(fmt.Sprintf("np-shadow-%d", i), stepWords))
 	}
-	st.evac = heap.NewEvacuator(h, func(w heap.Word) bool {
-		if st.PosOf(w) >= st.j {
-			return true
-		}
-		return st.alsoFrom != nil && st.alsoFrom(w)
-	})
+	st.evac = heap.NewEvacuator(h, nil)
 	st.overflow = func(int) *heap.Space {
 		sp := st.H.NewSpace(fmt.Sprintf("np-spill-%d", len(st.H.Spaces)), st.StepWords)
 		st.spares = append(st.spares, sp)
@@ -201,8 +195,8 @@ func (st *Steps) FillTargets() []*heap.Space {
 	return out
 }
 
-// Collect performs one non-predictive collection: steps j+1..k (plus any
-// spaces matched by alsoFrom, e.g. the hybrid's nursery) are evacuated as a
+// Collect performs one non-predictive collection: steps j+1..k (plus
+// alsoFrom, if non-nil — e.g. the hybrid's nursery) are evacuated as a
 // single generation into shadow spaces, and the steps are renamed per
 // Section 4. extraRoots, if non-nil, is called with the evacuation function
 // so callers can treat remembered-set entries as roots. When the survivors
@@ -213,7 +207,7 @@ func (st *Steps) FillTargets() []*heap.Space {
 // On return the collected spaces have become the new shadows, steps have
 // been renamed, and the allocation cursor is recomputed. The caller is
 // responsible for choosing a new j and rebuilding remembered sets.
-func (st *Steps) Collect(alsoFrom func(heap.Word) bool, extraRoots func(evac func(slot *heap.Word)), allowGrow bool) uint64 {
+func (st *Steps) Collect(alsoFrom *heap.Space, extraRoots func(evac func(slot *heap.Word)), allowGrow bool) uint64 {
 	k, j := st.K(), st.j
 	nNew := k - j
 	primary := st.shadows[:nNew] // primary[i] becomes the new step at position i
@@ -228,8 +222,11 @@ func (st *Steps) Collect(alsoFrom func(heap.Word) bool, extraRoots func(evac fun
 	targets = append(targets, st.spares...)
 	st.targetsBuf = targets
 
-	st.alsoFrom = alsoFrom
 	e := st.evac
+	e.SetFrom(st.steps[j:]...)
+	if alsoFrom != nil {
+		e.From().AddSpace(alsoFrom)
+	}
 	e.Begin(targets...)
 	if allowGrow {
 		e.Overflow = st.overflow
@@ -241,7 +238,6 @@ func (st *Steps) Collect(alsoFrom func(heap.Word) bool, extraRoots func(evac fun
 		extraRoots(e.Slot())
 	}
 	e.Drain()
-	st.alsoFrom = nil
 
 	used := 0
 	for _, sp := range st.spares {

@@ -147,9 +147,7 @@ func TestCollectSpillGrowsStepCount(t *testing.T) {
 	}
 
 	kBefore := c.Steps().K()
-	copied := c.Steps().Collect(
-		func(w heap.Word) bool { return heap.PtrSpace(w) == side.ID },
-		nil, true)
+	copied := c.Steps().Collect(side, nil, true)
 	if copied == 0 {
 		t.Fatal("nothing copied")
 	}

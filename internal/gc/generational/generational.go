@@ -26,14 +26,11 @@ type Collector struct {
 	rs      remset.Set
 	stats   heap.GCStats
 
-	// evac is the persistent Cheney engine; the stored predicates and the
-	// remembered-set root visitor are created once so steady-state minor
-	// collections allocate nothing.
-	evac        *heap.Evacuator
-	minorFrom   func(heap.Word) bool
-	majorFrom   func(heap.Word) bool
-	oldOnlyFrom func(heap.Word) bool
-	remsetRoot  func(heap.Word)
+	// evac is the persistent Cheney engine, re-armed with SetFrom per
+	// collection; the remembered-set root visitor is created once so
+	// steady-state minor collections allocate nothing.
+	evac       *heap.Evacuator
+	remsetRoot func(heap.Word)
 
 	expand float64
 }
@@ -66,12 +63,6 @@ func New(h *heap.Heap, nurseryWords, oldWords int, opts ...Option) *Collector {
 		oldTo:   h.NewSpace("old-B", oldWords),
 		rs:      remset.NewHashSet(),
 	}
-	c.minorFrom = func(w heap.Word) bool { return heap.PtrSpace(w) == c.nursery.ID }
-	c.majorFrom = func(w heap.Word) bool {
-		id := heap.PtrSpace(w)
-		return id == c.nursery.ID || id == c.oldFrom.ID
-	}
-	c.oldOnlyFrom = func(w heap.Word) bool { return heap.PtrSpace(w) == c.oldFrom.ID }
 	c.evac = heap.NewEvacuator(h, nil)
 	c.remsetRoot = func(w heap.Word) {
 		c.stats.RemsetScanned++
@@ -150,7 +141,7 @@ func (c *Collector) minor() {
 		return
 	}
 	e := c.evac
-	e.InFrom = c.minorFrom
+	e.SetFrom(c.nursery)
 	e.Begin(c.oldFrom)
 	e.EvacuateRoots()
 	c.scanRemset()
@@ -184,7 +175,7 @@ func (c *Collector) major(need int) {
 		}
 	}
 	e := c.evac
-	e.InFrom = c.majorFrom
+	e.SetFrom(c.nursery, c.oldFrom)
 	e.Begin(c.oldTo)
 	e.Run()
 	c.nursery.Reset()
@@ -208,7 +199,7 @@ func (c *Collector) major(need int) {
 		if want > c.oldFrom.Cap() {
 			// Grow the active space too: copy once more into the (bigger)
 			// to-space and flip back.
-			e.InFrom = c.oldOnlyFrom
+			e.SetFrom(c.oldFrom)
 			e.Begin(c.oldTo)
 			e.Run()
 			c.oldFrom.Reset()

@@ -39,17 +39,19 @@ type Collector struct {
 
 	// Persistent machinery for the collection hot paths, created once in New
 	// so steady-state promoting collections allocate nothing: the Cheney
-	// engine, the nursery predicate, the remembered-set root visitors, and a
-	// reusable target-list buffer.
+	// engine (re-armed with SetFrom per collection), the remembered-set
+	// root visitors, and a reusable target-list buffer.
 	evac        *heap.Evacuator
-	inNursery   func(heap.Word) bool
 	rsARoot     func(obj heap.Word)
 	promoRegion func(s *heap.Space, from, to int)
 	npScan      func(obj heap.Word)
 	npExtra     func(evac func(slot *heap.Word))
 	npEvac      func(slot *heap.Word)
 	rememberB   func(obj heap.Word)
+	rsAPromoted func(obj heap.Word)
+	staticKeep  func(obj heap.Word)
 	targetsBuf  []*heap.Space
+	staticBuf   []heap.Word
 
 	stats heap.GCStats
 }
@@ -87,7 +89,6 @@ func New(h *heap.Heap, nurseryWords, k, stepWords int, opts ...Option) *Collecto
 	for _, o := range opts {
 		o(c)
 	}
-	c.inNursery = func(w heap.Word) bool { return heap.PtrSpace(w) == c.nursery.ID }
 	c.evac = heap.NewEvacuator(h, nil)
 	c.rsARoot = func(obj heap.Word) {
 		c.stats.RemsetScanned++
@@ -113,6 +114,28 @@ func New(h *heap.Heap, nurseryWords, k, stepWords int, opts ...Option) *Collecto
 		c.npEvac = nil
 	}
 	c.rememberB = c.rsB.Remember
+	c.rsAPromoted = func(obj heap.Word) {
+		// A promoting collection moves every nursery referent into the
+		// steps, so a set-A entry may now hold pointers that set B must
+		// track: young-step objects pointing into steps j+1..k, and static
+		// objects pointing into any step. The entry itself never moves (set
+		// A records objects *outside* the nursery), so its updated slots can
+		// be rescanned in place.
+		if c.st.InYoung(obj) {
+			if c.pointsInto(obj, c.st.InOld) {
+				c.rsB.Remember(obj)
+			}
+			return
+		}
+		if c.inStatic[heap.PtrSpace(obj)] && c.pointsInto(obj, c.inAnyStep) {
+			c.rsB.Remember(obj)
+		}
+	}
+	c.staticKeep = func(obj heap.Word) {
+		if c.inStatic[heap.PtrSpace(obj)] && c.pointsInto(obj, c.inAnyStep) {
+			c.staticBuf = append(c.staticBuf, obj)
+		}
+	}
 	c.st.SetJ(c.policy.ChooseJ(k, k))
 	h.SetAllocator(c)
 	h.SetBarrier(c)
@@ -219,11 +242,16 @@ func (c *Collector) minor() {
 		return
 	}
 	e := c.evac
-	e.InFrom = c.inNursery
+	e.SetFrom(c.nursery)
 	e.Begin(targets...)
 	e.EvacuateRoots()
 	c.rsA.ForEach(c.rsARoot)
 	e.Drain()
+
+	// Promotion turned nursery pointers held by set-A entries into step
+	// pointers; migrate the entries that set B must now cover before the
+	// set empties (the transition §8.4 calls situation 3 becoming 5 or 6).
+	c.rsA.ForEach(c.rsAPromoted)
 
 	c.nursery.Reset()
 	c.rsA.Clear() // the nursery is empty; no pointers into it remain
@@ -266,6 +294,21 @@ func (c *Collector) regionTargets(lo, hi int) []*heap.Space {
 	return out
 }
 
+// inAnyStep reports whether pointer w targets any dynamic-area step.
+func (c *Collector) inAnyStep(w heap.Word) bool { return c.st.PosOf(w) >= 0 }
+
+// pointsInto reports whether the object obj contains a pointer satisfying
+// the region predicate.
+func (c *Collector) pointsInto(obj heap.Word, in func(heap.Word) bool) bool {
+	found := false
+	heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), func(slot *heap.Word) {
+		if !found && heap.IsPtr(*slot) && in(*slot) {
+			found = true
+		}
+	})
+	return found
+}
+
 // scanPromoted adds to remembered set B the objects in s between offsets
 // from and s.Top that contain a pointer into steps j+1..k.
 func (c *Collector) scanPromoted(s *heap.Space, from int) {
@@ -288,11 +331,20 @@ func (c *Collector) scanPromoted(s *heap.Space, from int) {
 // the nursery along with it ("a non-predictive collection always promotes
 // all live objects out of the ephemeral area", §8.4).
 func (c *Collector) npCollect() {
-	copied := c.st.Collect(c.inNursery, c.npExtra, c.allowGrow)
+	copied := c.st.Collect(c.nursery, c.npExtra, c.allowGrow)
 
 	c.nursery.Reset()
 	c.rsA.Clear()
+	// ScanYoungForOldPointers below rebuilds only the young-step half of
+	// set B; static-area entries must survive the clear, since statics are
+	// never rescanned wholesale and their step pointers (updated in place
+	// by the collection) stay live across the renaming.
+	c.staticBuf = c.staticBuf[:0]
+	c.rsB.ForEach(c.staticKeep)
 	c.rsB.Clear()
+	for _, obj := range c.staticBuf {
+		c.rsB.Remember(obj)
+	}
 	if c.allowGrow {
 		// Keep the dynamic area's load factor sane: a collection that
 		// frees less than a third of the steps (or less than two nursery
@@ -345,14 +397,15 @@ func (c *Collector) PromoteAllToStatic() {
 	c.statics = append(c.statics, static)
 	c.inStatic[static.ID] = true
 
-	nursery := c.nursery
-	inFrom := func(w heap.Word) bool {
-		return heap.PtrSpace(w) == nursery.ID || c.st.PosOf(w) >= 0
+	e := heap.NewEvacuator(c.h, nil, static)
+	e.SetFrom(c.nursery)
+	from := e.From()
+	for p := 0; p < c.st.K(); p++ {
+		from.AddSpace(c.st.Step(p))
 	}
-	e := heap.NewEvacuator(c.h, inFrom, static)
 	c.h.VisitRoots(e.Evacuate)
 	scan := func(obj heap.Word) {
-		if inFrom(obj) {
+		if from.HasPtr(obj) {
 			return // collected with the region; old headers may be forwarded
 		}
 		c.stats.RemsetScanned++

@@ -198,3 +198,54 @@ func TestGrowthUnderLiveLoad(t *testing.T) {
 		t.Errorf("dynamic area did not grow: k = %d", c.st.K())
 	}
 }
+
+// A promoting collection that places nursery survivors in the old region
+// turns set-A entries (young-step objects pointing into the nursery) into
+// young-step objects pointing into steps j+1..k — exactly what set B must
+// cover, or the next non-predictive collection leaves their slots dangling.
+func TestPromotionIntoOldStepsMigratesSetAToSetB(t *testing.T) {
+	h := heap.New()
+	c := New(h, 512, 8, 1024, WithGrowth(), WithPolicy(core.FixedJ(2)))
+	s := h.Scope()
+	defer s.Close()
+
+	// Fill the six old-region steps with 301-word vectors (three per step)
+	// so the next large allocation descends into young position 1, which
+	// FixedJ(2) never collects.
+	for i := 0; i < 18; i++ {
+		func() {
+			sc := h.Scope()
+			defer sc.Close()
+			h.MakeVector(300, h.Null())
+		}()
+	}
+	vec := h.MakeVector(300, h.Null())
+	if pos := c.st.PosOf(h.Get(vec)); pos != 1 {
+		t.Fatalf("probe vector landed at step position %d, want 1 (young)", pos)
+	}
+
+	// Store a nursery object into the young vector: a set-A entry whose
+	// only reference to the cons is the young-step slot.
+	func() {
+		sc := h.Scope()
+		defer sc.Close()
+		h.VectorSet(vec, 0, h.Cons(h.Fix(42), h.Null()))
+	}()
+	if a, _ := c.RemsetLens(); a == 0 {
+		t.Fatal("barrier missed young-step-to-nursery store")
+	}
+
+	c.minor() // promotes the cons into the old region
+	if _, b := c.RemsetLens(); b == 0 {
+		t.Fatal("promotion into the old region did not migrate the set-A entry to set B")
+	}
+
+	c.Collect() // non-predictive collection of steps j+1..k
+	if err := heap.Check(h); err != nil {
+		t.Fatal(err)
+	}
+	elem := h.VectorRef(vec, 0)
+	if !h.IsPair(elem) || h.FixVal(h.Car(elem)) != 42 {
+		t.Error("object reachable only through a young-step slot was lost")
+	}
+}

@@ -186,6 +186,7 @@ func (c *Collector) setNextFree(s *heap.Space, off, next int) {
 // space, rebuilding the free lists with coalescing.
 func (c *Collector) Collect() {
 	m := c.marker
+	m.SetRegion(c.spaces...)
 	m.Begin()
 	m.Run()
 	c.stats.WordsMarked += m.WordsMarked

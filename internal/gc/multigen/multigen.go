@@ -35,6 +35,14 @@ type Collector struct {
 	rs    remset.Set
 	stats heap.GCStats
 
+	// evac is the persistent Cheney engine, re-armed with SetFrom per
+	// collection; window and windowRoot implement the remembered-set root
+	// scan for a collection of generations 0..window without building a
+	// fresh closure each time.
+	evac       *heap.Evacuator
+	window     int
+	windowRoot func(obj heap.Word)
+
 	expand float64
 }
 
@@ -69,6 +77,16 @@ func New(h *heap.Heap, sizes []int, opts ...Option) *Collector {
 	}
 	c.oldTo = h.NewSpace("gen-old-B", sizes[len(sizes)-1])
 	c.rebuildGenOf()
+	c.evac = heap.NewEvacuator(h, nil)
+	c.windowRoot = func(obj heap.Word) {
+		// Remembered objects in generations > window may hold the only
+		// pointers into the window; entries inside it are collected with it.
+		if g := c.genIdx(obj); g >= 0 && g <= c.window {
+			return
+		}
+		c.stats.RemsetScanned++
+		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), c.evac.Slot())
+	}
 	h.SetAllocator(c)
 	h.SetBarrier(c)
 	return c
@@ -182,20 +200,12 @@ func (c *Collector) collectUpTo(m int) {
 		return
 	}
 	target := c.gens[m+1]
-	e := heap.NewEvacuator(c.h, func(w heap.Word) bool {
-		g := c.genIdx(w)
-		return g >= 0 && g <= m
-	}, target)
-	c.h.VisitRoots(e.Evacuate)
-	// Remembered objects in generations > m may hold the only pointers
-	// into the window; entries inside the window are collected with it.
-	c.rs.ForEach(func(obj heap.Word) {
-		if g := c.genIdx(obj); g >= 0 && g <= m {
-			return
-		}
-		c.stats.RemsetScanned++
-		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), e.Evacuate)
-	})
+	e := c.evac
+	e.SetFrom(c.gens[:m+1]...)
+	e.Begin(target)
+	c.h.VisitRoots(e.Slot())
+	c.window = m
+	c.rs.ForEach(c.windowRoot)
 	e.Drain()
 	for i := 0; i <= m; i++ {
 		c.gens[i].Reset()
@@ -221,9 +231,9 @@ func (c *Collector) major() {
 			c.oldTo.Mem = make([]heap.Word, worst)
 		}
 	}
-	e := heap.NewEvacuator(c.h, func(w heap.Word) bool {
-		return c.genIdx(w) >= 0
-	}, c.oldTo)
+	e := c.evac
+	e.SetFrom(c.gens...)
+	e.Begin(c.oldTo)
 	e.Run()
 	for _, g := range c.gens {
 		g.Reset()
@@ -246,9 +256,8 @@ func (c *Collector) major() {
 			c.oldTo.Mem = make([]heap.Word, want)
 		}
 		if want > c.gens[last].Cap() {
-			e := heap.NewEvacuator(c.h, func(w heap.Word) bool {
-				return heap.PtrSpace(w) == c.gens[last].ID
-			}, c.oldTo)
+			e.SetFrom(c.gens[last])
+			e.Begin(c.oldTo)
 			e.Run()
 			c.gens[last].Reset()
 			c.gens[last].Mem = make([]heap.Word, want)

@@ -46,6 +46,16 @@ type Collector struct {
 	// collection; 0 disables compaction.
 	compactEvery int
 
+	// marker and evac are the persistent tracing engines, re-armed with
+	// SetRegion/SetFrom per collection; the remembered-set root visitors
+	// and the target-list buffer are reused so steady-state collections
+	// allocate nothing in the tracing loops.
+	marker     *heap.Marker
+	evac       *heap.Evacuator
+	markRemset func(obj heap.Word)
+	evacRemset func(obj heap.Word)
+	targetsBuf []*heap.Space
+
 	stats heap.GCStats
 }
 
@@ -90,6 +100,16 @@ func New(h *heap.Heap, k, stepWords int, opts ...Option) *Collector {
 	c.rebuildPos()
 	c.allocIdx = k - 1
 	c.setJ()
+	c.marker = heap.NewMarker(h, nil)
+	c.markRemset = func(obj heap.Word) {
+		c.stats.RemsetScanned++
+		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), c.marker.Slot())
+	}
+	c.evac = heap.NewEvacuator(h, nil)
+	c.evacRemset = func(obj heap.Word) {
+		c.stats.RemsetScanned++
+		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), c.evac.Slot())
+	}
 	h.SetAllocator(c)
 	h.SetBarrier(c)
 	return c
@@ -252,14 +272,11 @@ func (c *Collector) Collect() {
 
 func (c *Collector) markSweepCollect() {
 	j := c.j
-	m := heap.NewMarker(c.h, func(w heap.Word) bool { return c.posOf(w) >= j })
-	c.h.VisitRoots(func(slot *heap.Word) { m.MarkWord(*slot) })
-	c.rs.ForEach(func(obj heap.Word) {
-		c.stats.RemsetScanned++
-		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), func(slot *heap.Word) {
-			m.MarkWord(*slot)
-		})
-	})
+	m := c.marker
+	m.SetRegion(c.steps[j:]...)
+	m.Begin()
+	c.h.VisitRoots(m.Slot())
+	c.rs.ForEach(c.markRemset)
 	m.Drain()
 
 	var swept uint64
@@ -286,19 +303,19 @@ func (c *Collector) compact() {
 	k := len(c.steps)
 	nNew := k - j
 	primary := c.shadows[:nNew]
-	targets := make([]*heap.Space, 0, nNew)
+	targets := c.targetsBuf[:0]
 	for i := nNew - 1; i >= 0; i-- {
 		t := primary[i]
 		t.Reset() // bump-fill during evacuation
 		targets = append(targets, t)
 	}
+	c.targetsBuf = targets
 
-	e := heap.NewEvacuator(c.h, func(w heap.Word) bool { return c.posOf(w) >= j }, targets...)
-	c.h.VisitRoots(e.Evacuate)
-	c.rs.ForEach(func(obj heap.Word) {
-		c.stats.RemsetScanned++
-		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), e.Evacuate)
-	})
+	e := c.evac
+	e.SetFrom(c.steps[j:]...)
+	e.Begin(targets...)
+	c.h.VisitRoots(e.Slot())
+	c.rs.ForEach(c.evacRemset)
 	e.Drain()
 
 	// The compacted targets switch to free-list form: one block from the

@@ -48,9 +48,7 @@ func New(h *heap.Heap, semiWords int, opts ...Option) *Collector {
 		from: h.NewSpace("semispace-A", semiWords),
 		to:   h.NewSpace("semispace-B", semiWords),
 	}
-	c.evac = heap.NewEvacuator(h, func(w heap.Word) bool {
-		return heap.PtrSpace(w) == c.from.ID
-	})
+	c.evac = heap.NewEvacuator(h, nil)
 	for _, o := range opts {
 		o(c)
 	}
@@ -90,6 +88,7 @@ func (c *Collector) Collect() { c.collect(0) }
 
 func (c *Collector) collect(need int) {
 	e := c.evac
+	e.SetFrom(c.from)
 	e.Begin(c.to)
 	e.Run()
 	c.from.Reset()
@@ -110,6 +109,7 @@ func (c *Collector) collect(need int) {
 		if want > c.from.Cap() {
 			// Grow the empty to-space, copy into it, then grow the other.
 			c.to.Mem = make([]heap.Word, want)
+			e.SetFrom(c.from)
 			e.Begin(c.to)
 			e.Run()
 			c.from.Reset()

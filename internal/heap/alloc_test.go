@@ -47,8 +47,38 @@ func TestMarkerSteadyStateZeroAllocs(t *testing.T) {
 
 // TestEvacuatorSteadyStateZeroAllocs guards the Cheney hot path: a
 // persistent evacuator flipping a live chain between two semispaces must
-// not allocate once its scan state has been sized.
+// not allocate once its scan state has been sized — including the bitset
+// re-arm (SetFrom clears and refills the from-set every cycle) and the
+// fused drain's cached space table.
 func TestEvacuatorSteadyStateZeroAllocs(t *testing.T) {
+	h := New()
+	from := h.NewSpace("flip-A", 4096)
+	to := h.NewSpace("flip-B", 4096)
+	h.GlobalWord(buildChain(t, h, from, 500))
+
+	e := NewEvacuator(h, nil)
+	flip := func() {
+		e.SetFrom(from)
+		e.Begin(to)
+		e.Run()
+		from.Reset()
+		from, to = to, from
+	}
+	flip() // warmup: the from-set bitset and scan state grow once
+
+	allocs := testing.AllocsPerRun(20, flip)
+	if allocs != 0 {
+		t.Errorf("steady-state evacuation allocates %.0f objects/run, want 0", allocs)
+	}
+	if e.ObjectsCopied != 500 {
+		t.Fatalf("copied %d objects, want 500 (the guard must measure real work)", e.ObjectsCopied)
+	}
+}
+
+// TestEvacuatorEscapeHatchZeroAllocs keeps the InFrom callback path honest
+// too: collectors that need a predicate the bitset cannot express must not
+// pay per-flip allocations either.
+func TestEvacuatorEscapeHatchZeroAllocs(t *testing.T) {
 	h := New()
 	from := h.NewSpace("flip-A", 4096)
 	to := h.NewSpace("flip-B", 4096)
@@ -66,10 +96,36 @@ func TestEvacuatorSteadyStateZeroAllocs(t *testing.T) {
 
 	allocs := testing.AllocsPerRun(20, flip)
 	if allocs != 0 {
-		t.Errorf("steady-state evacuation allocates %.0f objects/run, want 0", allocs)
+		t.Errorf("steady-state escape-hatch evacuation allocates %.0f objects/run, want 0", allocs)
 	}
-	if e.ObjectsCopied != 500 {
-		t.Fatalf("copied %d objects, want 500 (the guard must measure real work)", e.ObjectsCopied)
+}
+
+// TestMarkerBoundedRegionZeroAllocs guards the bounded mark hot path: a
+// persistent marker re-armed with SetRegion each cycle (the marksweep and
+// npms pattern, since their space lists grow) must not allocate in steady
+// state.
+func TestMarkerBoundedRegionZeroAllocs(t *testing.T) {
+	h := New()
+	s := h.NewSpace("mark-arena", 4096)
+	other := h.NewSpace("outside", 16)
+	h.GlobalWord(buildChain(t, h, s, 500))
+	h.GlobalWord(buildChain(t, h, other, 2))
+
+	m := NewMarker(h, nil)
+	cycle := func() {
+		m.SetRegion(s)
+		m.Begin()
+		m.Run()
+		ClearMarks(s)
+	}
+	cycle() // warmup: the region bitset and mark stack grow once
+
+	allocs := testing.AllocsPerRun(20, cycle)
+	if allocs != 0 {
+		t.Errorf("steady-state bounded mark cycle allocates %.0f objects/run, want 0", allocs)
+	}
+	if m.ObjectsMarked != 500 {
+		t.Fatalf("marked %d objects, want 500 (the bound must exclude the outside space)", m.ObjectsMarked)
 	}
 }
 
@@ -97,10 +153,10 @@ func BenchmarkEvacuatorSteadyState(b *testing.B) {
 	to := h.NewSpace("flip-B", 1<<16)
 	h.GlobalWord(buildChain(b, h, from, 8000))
 	e := NewEvacuator(h, nil)
-	e.InFrom = func(w Word) bool { return PtrSpace(w) == from.ID }
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		e.SetFrom(from)
 		e.Begin(to)
 		e.Run()
 		from.Reset()

@@ -5,20 +5,29 @@ import "fmt"
 // Evacuator is a generic Cheney copying engine. Every copying collection in
 // the repository — semispace flips, nursery evacuations, promotions, and the
 // non-predictive collector's older-first collections — is an Evacuator run
-// with a different from-region predicate and target list.
+// with a different from-region and target list.
 //
 // An Evacuator is built once per collector and re-armed with Begin before
 // each collection: the target list and Cheney scan state reuse their
 // backing arrays, so steady-state collections allocate nothing.
 //
-// Usage: configure H and InFrom; call Begin with the collection's targets;
-// call Evacuate on every root slot (and remembered-set slot); then call
-// Drain. After Drain returns, every object reachable from the visited slots
-// has been copied out of the from-region and all copied slots have been
-// updated.
+// The from-region is declared as a set of spaces (SetFrom / From), so the
+// per-slot membership test is a bit test rather than an indirect call. The
+// InFrom predicate remains as a slow-path escape hatch for oddball
+// from-regions that are not a union of spaces.
+//
+// Usage: configure H and the from-region; call Begin with the collection's
+// targets; call Evacuate on every root slot (and remembered-set slot); then
+// call Drain. After Drain returns, every object reachable from the visited
+// slots has been copied out of the from-region and all copied slots have
+// been updated.
 type Evacuator struct {
-	H      *Heap
-	InFrom func(w Word) bool // does this pointer target the from-region?
+	H *Heap
+
+	// InFrom, when non-nil, overrides the from-set: it is consulted per
+	// pointer instead of the bitset. This is the slow-path escape hatch;
+	// collectors on the hot path use SetFrom.
+	InFrom func(w Word) bool
 
 	// Targets are filled in order; an object is copied into the first
 	// target with room. Collectors must provide enough total room for the
@@ -26,9 +35,21 @@ type Evacuator struct {
 	Targets []*Space
 
 	// Overflow, when non-nil, is called with the failing request size when
-	// every target is full; it must return a fresh space, which is appended
-	// to Targets. When nil, overflow panics.
+	// every target is full; it must return a fresh space with room for the
+	// request, which is appended to Targets. When nil, overflow panics.
 	Overflow func(need int) *Space
+
+	// from is the fast-path from-region: a bitset of SpaceIDs.
+	from SpaceSet
+
+	// spaces caches H.Spaces for the duration of a run, saving a pointer
+	// chase per forwarded object. Begin refreshes it; reserve re-refreshes
+	// after Overflow registers a new space.
+	spaces []*Space
+
+	// extra caches H.ExtraWords() so the fused drain can skip the hidden
+	// census word without a per-object heap dereference.
+	extra int
 
 	// scanBase[i] is the offset in Targets[i] where this run's copies began.
 	scanBase []int
@@ -44,7 +65,8 @@ type Evacuator struct {
 }
 
 // NewEvacuator prepares an engine whose copies land in targets, recording
-// the current tops so only newly copied objects are scanned.
+// the current tops so only newly copied objects are scanned. inFrom may be
+// nil; hot-path collectors declare their from-region with SetFrom instead.
 func NewEvacuator(h *Heap, inFrom func(w Word) bool, targets ...*Space) *Evacuator {
 	e := &Evacuator{H: h, InFrom: inFrom}
 	e.evacSlot = e.Evacuate
@@ -52,10 +74,28 @@ func NewEvacuator(h *Heap, inFrom func(w Word) bool, targets ...*Space) *Evacuat
 	return e
 }
 
+// SetFrom declares the from-region as exactly the given spaces, routing the
+// per-slot test through the bitset fast path (any InFrom predicate is
+// cleared). The set's backing array is reused, so re-arming between
+// collections allocates nothing.
+func (e *Evacuator) SetFrom(spaces ...*Space) {
+	e.InFrom = nil
+	e.from.Clear()
+	for _, s := range spaces {
+		e.from.Add(s.ID)
+	}
+}
+
+// From exposes the from-set for incremental population (e.g. the step
+// machinery adding steps j+1..k one by one). The set is only consulted
+// while InFrom is nil. Member spaces must exist before the run begins.
+func (e *Evacuator) From() *SpaceSet { return &e.from }
+
 // Begin re-arms the evacuator for a new collection whose copies land in
 // targets: the work counters reset, the current target tops are recorded as
-// scan bases, and all internal slices reuse their backing arrays. InFrom
-// and Overflow are left as configured.
+// scan bases, the space cache refreshes, and all internal slices reuse
+// their backing arrays. The from-region and Overflow are left as
+// configured.
 func (e *Evacuator) Begin(targets ...*Space) {
 	e.Targets = append(e.Targets[:0], targets...)
 	e.scanBase = e.scanBase[:0]
@@ -64,6 +104,8 @@ func (e *Evacuator) Begin(targets ...*Space) {
 		e.scanBase = append(e.scanBase, t.Top)
 		e.scan = append(e.scan, t.Top)
 	}
+	e.spaces = e.H.Spaces
+	e.extra = e.H.extraWords
 	e.WordsCopied = 0
 	e.ObjectsCopied = 0
 }
@@ -73,29 +115,49 @@ func (e *Evacuator) Begin(targets ...*Space) {
 // a fresh bound-method closure at every collection.
 func (e *Evacuator) Slot() func(slot *Word) { return e.evacSlot }
 
+// inFrom reports whether pointer w targets the from-region: the bitset on
+// the fast path, the InFrom predicate when the escape hatch is armed.
+func (e *Evacuator) inFrom(w Word) bool {
+	if e.InFrom != nil {
+		return e.InFrom(w)
+	}
+	return e.from.HasPtr(w)
+}
+
 // Evacuate processes one slot: if it holds a pointer into the from-region,
 // the target object is copied (or its existing forwarding followed) and the
 // slot updated.
 func (e *Evacuator) Evacuate(slot *Word) {
 	w := *slot
-	if !IsPtr(w) || !e.InFrom(w) {
+	if !IsPtr(w) || !e.inFrom(w) {
 		return
 	}
-	s := e.H.SpaceOf(w)
+	*slot = e.forward(w)
+}
+
+// forward copies the object w points to out of the from-region (or follows
+// its existing forwarding pointer) and returns its new address.
+func (e *Evacuator) forward(w Word) Word {
+	id := PtrSpace(w)
+	if int(id) >= len(e.spaces) {
+		// Only an InFrom escape-hatch predicate can admit a space created
+		// after Begin; refresh the cache rather than mis-index it.
+		e.spaces = e.H.Spaces
+	}
+	s := e.spaces[id]
 	off := PtrOff(w)
 	hdr := s.Mem[off]
 	if IsPtr(hdr) { // already forwarded: header slot holds the new address
-		*slot = hdr
-		return
+		return hdr
 	}
 	n := ObjWords(hdr)
 	toSpace, toOff := e.reserve(n)
 	copy(toSpace.Mem[toOff:toOff+n], s.Mem[off:off+n])
 	fwd := PtrWord(toSpace.ID, toOff)
 	s.Mem[off] = fwd
-	*slot = fwd
 	e.WordsCopied += uint64(n)
 	e.ObjectsCopied++
+	return fwd
 }
 
 func (e *Evacuator) reserve(n int) (*Space, int) {
@@ -106,19 +168,87 @@ func (e *Evacuator) reserve(n int) (*Space, int) {
 	}
 	if e.Overflow != nil {
 		t := e.Overflow(n)
+		// Validate before adopting: appending an unusable space to
+		// Targets/scan/scanBase would leave the engine inconsistent when
+		// the panic below fires.
+		if t == nil {
+			panic(fmt.Sprintf("heap: evacuation overflow: Overflow returned nil for a %d-word request", n))
+		}
+		if t.Free() < n {
+			panic(fmt.Sprintf("heap: evacuation overflow: Overflow returned space %q with %d free words, too small for %d",
+				t.Name, t.Free(), n))
+		}
 		e.Targets = append(e.Targets, t)
 		e.scanBase = append(e.scanBase, t.Top)
 		e.scan = append(e.scan, t.Top)
-		if off, ok := t.Bump(n); ok {
-			return t, off
-		}
+		e.spaces = e.H.Spaces // Overflow registered a new space
+		off, _ := t.Bump(n)
+		return t, off
 	}
 	panic(fmt.Sprintf("heap: evacuation overflow: no target space has %d free words", n))
 }
 
 // Drain scans the gray region of every target, evacuating whatever the
-// copied objects reference, until no gray objects remain.
+// copied objects reference, until no gray objects remain. The scan is fused
+// with evacuation: payload words are iterated directly over the target's
+// Mem slice — no per-object visitor call, no per-slot closure — with
+// raw-payload objects and the hidden census word skipped by header
+// inspection. SetReferenceTracer reroutes this through the retained
+// callback-based reference implementation, which produces bit-identical
+// heaps and identical work counters.
 func (e *Evacuator) Drain() {
+	if refTracer {
+		e.drainReference()
+		return
+	}
+	// Hoist the from-region dispatch out of the per-slot loop: fastFrom
+	// selects the bitset test once, so the escape hatch costs nothing when
+	// unarmed.
+	fastFrom := e.InFrom == nil
+	for {
+		progress := false
+		// Targets appended by Overflow mid-pass are picked up on the next
+		// pass, exactly as the reference tracer's range does, so both
+		// tracers forward objects in the same order.
+		for i, nT := 0, len(e.Targets); i < nT; i++ {
+			t := e.Targets[i]
+			mem := t.Mem
+			scan := e.scan[i]
+			for scan < t.Top {
+				progress = true
+				hdr := mem[scan]
+				n := ObjWords(hdr)
+				if !RawPayload(HeaderType(hdr)) {
+					for si, end := scan+1+e.extra, scan+n; si < end; si++ {
+						w := mem[si]
+						if !IsPtr(w) {
+							continue
+						}
+						if fastFrom {
+							if !e.from.Has(PtrSpace(w)) {
+								continue
+							}
+						} else if !e.InFrom(w) {
+							continue
+						}
+						mem[si] = e.forward(w)
+					}
+				}
+				scan += n
+			}
+			e.scan[i] = scan
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// drainReference is the retained callback-per-slot tracer: one ScanObject
+// visitor invocation per gray object, one closure call per slot. The
+// differential conformance tests hold the fused Drain to this
+// implementation's heap images and word counts.
+func (e *Evacuator) drainReference() {
 	for {
 		progress := false
 		for i, t := range e.Targets {

@@ -2,17 +2,35 @@ package heap
 
 // Marker is a generic tracing engine that sets header mark bits without
 // moving anything. The mark/sweep collector and the lifetime census both
-// use it; they differ only in the region predicate and in what they do with
-// the marks afterwards.
+// use it; they differ only in the region bound and in what they do with the
+// marks afterwards.
 //
 // A Marker is built once per collector and re-armed with Begin before each
 // collection: the mark stack keeps its capacity across collections, so
 // steady-state collections allocate nothing.
+//
+// The region is declared as a set of spaces (SetRegion / SetWholeHeap), so
+// the per-slot bound check is a bit test rather than an indirect call. The
+// InRegion predicate remains as a slow-path escape hatch for bounds that
+// are not a union of spaces.
 type Marker struct {
 	H *Heap
-	// InRegion bounds the trace: pointers to objects outside the region are
-	// treated as leaves. A nil predicate traces the whole heap.
+
+	// InRegion, when non-nil, overrides the region set: pointers it rejects
+	// are treated as leaves. This is the slow-path escape hatch; hot-path
+	// collectors use SetRegion.
 	InRegion func(w Word) bool
+
+	// region is the fast-path bound: a bitset of SpaceIDs, consulted only
+	// when bounded is true and InRegion is nil.
+	region  SpaceSet
+	bounded bool
+
+	// spaces caches H.Spaces across a run, saving a pointer chase per
+	// marked object. Begin refreshes it; the engines also refresh it lazily
+	// when a pointer names a space beyond the cache (spaces created since
+	// the last Begin).
+	spaces []*Space
 
 	stack []Word
 	// markSlot is the stored slot-visitor closure, created once so passing
@@ -24,30 +42,79 @@ type Marker struct {
 }
 
 // NewMarker prepares a whole-heap marker when inRegion is nil, or a
-// region-bounded one otherwise.
+// predicate-bounded one otherwise; hot-path collectors bound the trace with
+// SetRegion instead.
 func NewMarker(h *Heap, inRegion func(w Word) bool) *Marker {
-	m := &Marker{H: h, InRegion: inRegion}
+	m := &Marker{H: h, InRegion: inRegion, spaces: h.Spaces}
 	m.markSlot = func(slot *Word) { m.MarkWord(*slot) }
 	return m
 }
 
-// Begin re-arms the marker for another collection: the work counters reset
-// and the mark stack empties while retaining its capacity.
+// SetRegion bounds the trace to exactly the given spaces, routing the
+// per-slot check through the bitset fast path (any InRegion predicate is
+// cleared). The set's backing array is reused, so re-arming between
+// collections allocates nothing.
+func (m *Marker) SetRegion(spaces ...*Space) {
+	m.InRegion = nil
+	m.bounded = true
+	m.region.Clear()
+	for _, s := range spaces {
+		m.region.Add(s.ID)
+	}
+}
+
+// Region exposes the bitset bound for incremental population (e.g. the
+// non-predictive mark/sweep adding steps j..k-1 one by one). Callers must
+// have armed the bound with SetRegion first.
+func (m *Marker) Region() *SpaceSet { return &m.region }
+
+// SetWholeHeap removes any region bound: every pointer is traced.
+func (m *Marker) SetWholeHeap() {
+	m.InRegion = nil
+	m.bounded = false
+}
+
+// Slot returns the marker's stored slot-visitor function, for root
+// iterators that need a callback without allocating a fresh closure.
+func (m *Marker) Slot() func(slot *Word) { return m.markSlot }
+
+// Begin re-arms the marker for another collection: the work counters reset,
+// the space cache refreshes, and the mark stack empties while retaining its
+// capacity.
 func (m *Marker) Begin() {
 	m.stack = m.stack[:0]
+	m.spaces = m.H.Spaces
 	m.WordsMarked = 0
 	m.ObjectsMarked = 0
 }
 
+// inRegion reports whether pointer w is inside the trace bound: the bitset
+// on the fast path, the InRegion predicate when the escape hatch is armed.
+func (m *Marker) inRegion(w Word) bool {
+	if m.InRegion != nil {
+		return m.InRegion(w)
+	}
+	return !m.bounded || m.region.HasPtr(w)
+}
+
 // MarkWord marks the object w points to (if any) and queues it for scanning.
 func (m *Marker) MarkWord(w Word) {
-	if !IsPtr(w) {
+	if !IsPtr(w) || !m.inRegion(w) {
 		return
 	}
-	if m.InRegion != nil && !m.InRegion(w) {
-		return
+	m.mark(w)
+}
+
+// mark sets the mark bit of the (in-bound, pointer) word's object and
+// pushes it, if it was not already marked.
+func (m *Marker) mark(w Word) {
+	id := PtrSpace(w)
+	if int(id) >= len(m.spaces) {
+		// A space created since the last Begin; refresh the cache rather
+		// than mis-index it.
+		m.spaces = m.H.Spaces
 	}
-	s := m.H.SpaceOf(w)
+	s := m.spaces[id]
 	off := PtrOff(w)
 	hdr := s.Mem[off]
 	if Marked(hdr) {
@@ -59,8 +126,115 @@ func (m *Marker) MarkWord(w Word) {
 	m.stack = append(m.stack, w)
 }
 
-// Drain scans queued objects until the mark stack is empty.
+// Drain scans queued objects until the mark stack is empty. The scan is
+// fused with marking: payload words are iterated directly over the owning
+// space's Mem slice — no per-object visitor call, no per-slot closure —
+// with raw-payload objects and the hidden census word skipped by header
+// inspection. SetReferenceTracer reroutes this through the retained
+// callback-based reference implementation, which marks the same objects in
+// the same order and reports identical work counters.
 func (m *Marker) Drain() {
+	if refTracer {
+		m.drainReference()
+		return
+	}
+	if m.InRegion != nil {
+		m.drainPredicate()
+		return
+	}
+	extra := m.H.extraWords
+	bounded := m.bounded
+	// One-entry space cache: traces overwhelmingly stay within one space
+	// (and a depth-first pop revisits the space just pushed), so caching
+	// the last Mem slice elides a spaces-table load per object. curMem
+	// stays nil until the first lookup so SpaceID 0 is not spuriously
+	// "cached".
+	var (
+		curID  SpaceID
+		curMem []Word
+	)
+	lookup := func(id SpaceID) []Word {
+		if int(id) >= len(m.spaces) {
+			m.spaces = m.H.Spaces
+		}
+		curID = id
+		curMem = m.spaces[id].Mem
+		return curMem
+	}
+	for len(m.stack) > 0 {
+		w := m.stack[len(m.stack)-1]
+		m.stack = m.stack[:len(m.stack)-1]
+		id := PtrSpace(w)
+		mem := curMem
+		if id != curID || mem == nil {
+			mem = lookup(id)
+		}
+		off := PtrOff(w)
+		hdr := mem[off]
+		if RawPayload(HeaderType(hdr)) {
+			continue
+		}
+		for si, end := off+1+extra, off+ObjWords(hdr); si < end; si++ {
+			v := mem[si]
+			if !IsPtr(v) {
+				continue
+			}
+			vid := PtrSpace(v)
+			if bounded && !m.region.Has(vid) {
+				continue
+			}
+			// m.mark inlined: the load/branch sequence is the whole per-slot
+			// cost, so it must not be a call.
+			vmem := curMem
+			if vid != curID || vmem == nil {
+				vmem = lookup(vid)
+			}
+			voff := PtrOff(v)
+			vhdr := vmem[voff]
+			if Marked(vhdr) {
+				continue
+			}
+			vmem[voff] = SetMark(vhdr)
+			m.WordsMarked += uint64(ObjWords(vhdr))
+			m.ObjectsMarked++
+			m.stack = append(m.stack, v)
+		}
+	}
+}
+
+// drainPredicate is the fused scan with the bound routed through the
+// InRegion escape hatch; the per-slot indirect call makes it slower than
+// Drain's bitset path, which is why SetRegion is the hot-path API.
+func (m *Marker) drainPredicate() {
+	extra := m.H.extraWords
+	for len(m.stack) > 0 {
+		w := m.stack[len(m.stack)-1]
+		m.stack = m.stack[:len(m.stack)-1]
+		id := PtrSpace(w)
+		if int(id) >= len(m.spaces) {
+			m.spaces = m.H.Spaces
+		}
+		mem := m.spaces[id].Mem
+		off := PtrOff(w)
+		hdr := mem[off]
+		if RawPayload(HeaderType(hdr)) {
+			continue
+		}
+		for si, end := off+1+extra, off+ObjWords(hdr); si < end; si++ {
+			v := mem[si]
+			if !IsPtr(v) || !m.InRegion(v) {
+				continue
+			}
+			m.mark(v)
+		}
+	}
+}
+
+// drainReference is the retained callback-per-slot tracer: one ScanObject
+// visitor invocation per popped object, one closure call per slot. The
+// differential conformance tests hold the fused Drain to this
+// implementation's mark sets and word counts.
+func (m *Marker) drainReference() {
 	for len(m.stack) > 0 {
 		w := m.stack[len(m.stack)-1]
 		m.stack = m.stack[:len(m.stack)-1]
@@ -75,12 +249,17 @@ func (m *Marker) Run() {
 	m.Drain()
 }
 
-// ClearMarks resets the mark bit of every block in the given spaces.
+// ClearMarks resets the mark bit of every block in the given spaces. Like
+// the fused drains, it iterates the block headers directly rather than
+// paying WalkSpace's per-block callback: the sweep-side unmark pass runs
+// once per mark/sweep collection over every block, live or dead.
 func ClearMarks(spaces ...*Space) {
 	for _, s := range spaces {
-		WalkSpace(s, func(off int, hdr Word) bool {
-			s.Mem[off] = ClearMark(hdr)
-			return true
-		})
+		mem := s.Mem
+		for off := 0; off < s.Top; {
+			hdr := mem[off]
+			mem[off] = ClearMark(hdr)
+			off += ObjWords(hdr)
+		}
 	}
 }

@@ -1,0 +1,18 @@
+package heap
+
+// refTracer, when true, reroutes Evacuator.Drain and Marker.Drain through
+// the retained callback-per-slot reference implementations. The fused fast
+// paths are specified to be observationally identical to the reference —
+// bit-identical heap images, identical GCStats word counts — and the
+// differential conformance tests enforce that by running every collector's
+// workload under both settings.
+var refTracer bool
+
+// SetReferenceTracer selects the reference (callback) tracer for all
+// subsequent Drain calls when on is true, or the fused fast path (the
+// default) when false. It flips a package-level switch: not for concurrent
+// use while collections run on other goroutines.
+func SetReferenceTracer(on bool) { refTracer = on }
+
+// ReferenceTracerEnabled reports which tracer Drain will use.
+func ReferenceTracerEnabled() bool { return refTracer }
