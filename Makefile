@@ -5,8 +5,9 @@ GO ?= go
 BENCH_OUT ?= BENCH_PR2.json
 BENCH_BASE ?= BENCH_PR2.json
 BENCH_NOW ?= /tmp/rdgc-bench-now.json
+FUZZTIME ?= 30s
 
-.PHONY: all build vet test race tier1 ci bench bench-compare
+.PHONY: all build vet test race tier1 ci bench bench-compare fuzz
 
 all: ci
 
@@ -39,3 +40,9 @@ bench:
 bench-compare:
 	$(GO) run ./cmd/benchreport -out $(BENCH_NOW)
 	$(GO) run ./cmd/benchreport -compare $(BENCH_BASE) $(BENCH_NOW)
+
+# fuzz mutates byte programs against all seven collectors, checking every
+# heap-invariant plus shadow-model agreement after each collection. Override
+# FUZZTIME for longer campaigns; replay crashes with cmd/gcfuzz.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzCollectors$$' -fuzztime $(FUZZTIME) ./internal/gc/gcfuzz

@@ -10,3 +10,26 @@ go test -race ./...
 # Benchmark smoke run: every benchmark executes one iteration, catching
 # bit-rot in the perf harness without paying for a real measurement.
 go test -run '^$' -bench . -benchtime 1x ./...
+
+# Coverage floors for the invariant-critical packages, set just under the
+# coverage measured when the verifier landed; dipping below one means tests
+# were deleted or a new code path shipped untested.
+check_cover() {
+    pct=$(go test -cover -count=1 "$1" | awk '
+        { for (i = 1; i <= NF; i++) if ($i ~ /%$/) { gsub(/%/, "", $i); print $i } }')
+    if [ -z "$pct" ]; then
+        echo "ci: no coverage figure for $1" >&2
+        exit 1
+    fi
+    if [ "$(awk -v p="$pct" -v f="$2" 'BEGIN { print (p >= f) ? 1 : 0 }')" != 1 ]; then
+        echo "ci: coverage for $1 is $pct%, below the $2% floor" >&2
+        exit 1
+    fi
+    echo "coverage $1: $pct% (floor $2%)"
+}
+check_cover ./internal/heap 82
+check_cover ./internal/remset 96
+
+# Fuzz smoke: a bounded mutation run of the cross-collector byte-program
+# harness (the seed corpus replays first). Real campaigns: make fuzz.
+go test -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz

@@ -1,0 +1,109 @@
+// Command gcfuzz replays byte programs from the cross-collector fuzzing
+// harness outside the test framework: point it at a crasher file the fuzzer
+// reported (testdata/fuzz/FuzzCollectors/... or $GOCACHE/fuzz/...) or at raw
+// bytes, and it reruns the program against every collector, printing each
+// collector's mutator statistics and the first property violation.
+//
+//	gcfuzz [-census=auto|on|off] [-collector NAME] [-minimize] FILE...
+//
+// With -minimize, a failing program is shrunk to a minimal reproducer
+// (printed as a go-fuzz corpus file, ready to check in as a regression
+// seed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rdgc/internal/gc/gcfuzz"
+	"rdgc/internal/heap"
+)
+
+func main() {
+	censusMode := flag.String("census", "auto", "census tracking: auto (derived from the program), on, or off")
+	collector := flag.String("collector", "", "run only the named collector (default: all, with cross-collector stats check)")
+	minimize := flag.Bool("minimize", false, "shrink a failing program to a minimal reproducer")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	exit := 0
+	for _, path := range flag.Args() {
+		if err := replay(path, *censusMode, *collector, *minimize); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			exit = 1
+		}
+	}
+	os.Exit(exit)
+}
+
+func replay(path, censusMode, collector string, minimize bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := gcfuzz.UnmarshalCorpus(data)
+	if err != nil {
+		return err
+	}
+	census := false
+	switch censusMode {
+	case "auto":
+		census = len(prog) > 0 && prog[0]&1 == 0
+	case "on":
+		census = true
+	case "off":
+	default:
+		return fmt.Errorf("bad -census value %q", censusMode)
+	}
+	fmt.Printf("%s: %d program bytes, census=%v\n", path, len(prog), census)
+
+	run := func(p []byte) error {
+		if collector != "" {
+			for _, nc := range gcfuzz.Collectors() {
+				if nc.Name == collector {
+					_, err := gcfuzz.Run(p, nc.New, census)
+					return err
+				}
+			}
+			return fmt.Errorf("unknown collector %q", collector)
+		}
+		return gcfuzz.RunAll(p, census)
+	}
+
+	var firstStats heap.Stats
+	for i, nc := range gcfuzz.Collectors() {
+		if collector != "" && nc.Name != collector {
+			continue
+		}
+		stats, err := gcfuzz.Run(prog, nc.New, census)
+		status := "ok"
+		if err != nil {
+			status = err.Error()
+		}
+		note := ""
+		if collector == "" {
+			if i == 0 {
+				firstStats = stats
+			} else if stats != firstStats {
+				note = "  <-- stats diverged"
+			}
+		}
+		fmt.Printf("  %-14s %d words, %d objects: %s%s\n",
+			nc.Name, stats.WordsAllocated, stats.ObjectsAllocated, status, note)
+	}
+
+	err = run(prog)
+	if err == nil {
+		fmt.Println("  all properties hold")
+		return nil
+	}
+	if minimize {
+		min := gcfuzz.Minimize(prog, func(p []byte) bool { return run(p) != nil })
+		fmt.Printf("  minimized to %d bytes:\n%s", len(min), gcfuzz.MarshalCorpus(min))
+	}
+	return err
+}

@@ -95,6 +95,26 @@ func (c *Collector) HeapWords() int { return c.st.K() * c.st.StepWords }
 // RemsetLen returns the current remembered-set size.
 func (c *Collector) RemsetLen() int { return c.rs.Len() }
 
+// VerifySpec implements heap.Verifiable: the k steps are live (shadows and
+// retired spill spaces are scratch), and every young-step object pointing
+// into an old step must be remembered — the §8.3 barrier invariant.
+func (c *Collector) VerifySpec() heap.VerifySpec {
+	live := make([]*heap.Space, c.st.K())
+	for i := range live {
+		live[i] = c.st.Step(i)
+	}
+	return heap.VerifySpec{
+		Live: live,
+		Remsets: []heap.RemsetRule{{
+			Name: "young->old",
+			Needs: func(obj, val heap.Word) bool {
+				return c.st.InYoung(obj) && c.st.InOld(val)
+			},
+			Has: c.rs.Contains,
+		}},
+	}
+}
+
 // RecordWrite implements heap.Barrier: remember objects in steps 1..j that
 // receive a pointer into steps j+1..k.
 func (c *Collector) RecordWrite(obj, val heap.Word) {
@@ -151,6 +171,7 @@ func (c *Collector) Collect() {
 	if p := c.rs.Peak(); p > c.stats.RemsetPeak {
 		c.stats.RemsetPeak = p
 	}
+	c.h.AfterGC()
 }
 
 // FullCollect collects every step (j = 0 for one cycle), then restores the

@@ -1,0 +1,45 @@
+package gcfuzz
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+)
+
+// The corpus codec reads and writes programs in the file format `go test
+// -fuzz` uses for its corpus ("go test fuzz v1" followed by one Go literal
+// per fuzz argument). cmd/gcfuzz accepts both that format and raw bytes, so
+// a crasher reported by the fuzzer replays without conversion.
+
+const corpusHeader = "go test fuzz v1"
+
+// MarshalCorpus renders prog as a go-fuzz corpus file.
+func MarshalCorpus(prog []byte) []byte {
+	return []byte(fmt.Sprintf("%s\n[]byte(%q)\n", corpusHeader, prog))
+}
+
+// UnmarshalCorpus extracts the program from data: a go-fuzz corpus file
+// yields its []byte literal, anything else is taken as a raw program.
+func UnmarshalCorpus(data []byte) ([]byte, error) {
+	head, rest, found := bytes.Cut(data, []byte("\n"))
+	if string(bytes.TrimSpace(head)) != corpusHeader {
+		return data, nil
+	}
+	if !found {
+		return nil, fmt.Errorf("gcfuzz: corpus file has no value after the header")
+	}
+	line := bytes.TrimSpace(rest)
+	if i := bytes.IndexByte(line, '\n'); i >= 0 {
+		line = bytes.TrimSpace(line[:i])
+	}
+	const prefix, suffix = "[]byte(", ")"
+	if !bytes.HasPrefix(line, []byte(prefix)) || !bytes.HasSuffix(line, []byte(suffix)) {
+		return nil, fmt.Errorf("gcfuzz: corpus value %q is not a []byte literal", line)
+	}
+	quoted := string(line[len(prefix) : len(line)-len(suffix)])
+	s, err := strconv.Unquote(quoted)
+	if err != nil {
+		return nil, fmt.Errorf("gcfuzz: corpus value %q: %w", line, err)
+	}
+	return []byte(s), nil
+}

@@ -9,61 +9,83 @@ import (
 	"rdgc/internal/heap"
 )
 
-// Shadow-model differential testing: a random sequence of mutator
-// operations is applied simultaneously to the simulated heap (under the
-// collector being tested) and to native Go "shadow" structures that no
-// collector ever touches. After heavy churn and forced collections, every
-// root must still be structurally identical to its shadow. This catches
-// lost updates, write-barrier omissions, missed evacuations, and renaming
-// bugs in any collector behind the heap.Collector interface.
+// Shadow-model differential testing: a sequence of mutator operations is
+// applied simultaneously to the simulated heap (under the collector being
+// tested) and to native Go "shadow" structures that no collector ever
+// touches. After heavy churn and forced collections, every root must still
+// be structurally identical to its shadow. This catches lost updates,
+// write-barrier omissions, missed evacuations, and renaming bugs in any
+// collector behind the heap.Collector interface.
+//
+// The operations are driven through a Source so the same Mutator serves two
+// harnesses: RandomOps feeds it a seeded *rand.Rand, and the gcfuzz package
+// feeds it bytes of a fuzzer-mutated program.
+
+// Source supplies the Mutator's decisions. *rand.Rand satisfies it.
+type Source interface {
+	Intn(n int) int
+	Int63n(n int64) int64
+}
 
 // shadow values: int64 (fixnum), float64 (flonum), nil (empty list),
-// *shadowPair, *shadowVec.
+// *shadowPair, *shadowVec, *shadowBox.
 type shadowPair struct{ car, cdr any }
 type shadowVec struct{ elems []any }
+type shadowBox struct{ val any }
 
-// shadowState pairs the heap roots (global slots, droppable) with their
-// shadows.
-type shadowState struct {
+// Mutator pairs heap roots (global slots, droppable) with their shadows and
+// applies numbered operations to both.
+type Mutator struct {
 	h       *heap.Heap
 	roots   []heap.Ref
 	shadows []any
-	rng     *rand.Rand
+	src     Source
 }
+
+// NewMutator creates a Mutator with no roots.
+func NewMutator(h *heap.Heap, src Source) *Mutator {
+	return &Mutator{h: h, src: src}
+}
+
+// NumOps is the number of distinct operation kinds Op accepts.
+const NumOps = 12
+
+// Roots returns the number of live shadowed roots.
+func (m *Mutator) Roots() int { return len(m.roots) }
 
 // randomValue picks an existing root's value or a fresh value, returning a
 // Ref pushed in the caller's open scope. A Ref (not a raw Word) is
 // essential: flonums are heap-allocated, and a later allocation in the same
 // operation can trigger a collection that moves them — a raw Word would
 // dangle, storing a stale pointer into the structure under test.
-func (st *shadowState) randomValue() (heap.Ref, any) {
-	if len(st.roots) > 0 && st.rng.Intn(3) > 0 {
-		i := st.rng.Intn(len(st.roots))
-		return st.h.Dup(st.roots[i]), st.shadows[i]
+func (m *Mutator) randomValue() (heap.Ref, any) {
+	if len(m.roots) > 0 && m.src.Intn(3) > 0 {
+		i := m.src.Intn(len(m.roots))
+		return m.h.Dup(m.roots[i]), m.shadows[i]
 	}
-	switch st.rng.Intn(3) {
+	switch m.src.Intn(3) {
 	case 0:
-		n := st.rng.Int63n(1000)
-		return st.h.Fix(n), n
+		n := m.src.Int63n(1000)
+		return m.h.Fix(n), n
 	case 1:
-		f := float64(st.rng.Intn(100)) / 4
-		return st.h.Flonum(f), f
+		f := float64(m.src.Intn(100)) / 4
+		return m.h.Flonum(f), f
 	default:
-		return st.h.Null(), nil
+		return m.h.Null(), nil
 	}
 }
 
-func (st *shadowState) addRoot(w heap.Word, sh any) {
-	st.roots = append(st.roots, st.h.GlobalWord(w))
-	st.shadows = append(st.shadows, sh)
+func (m *Mutator) addRoot(w heap.Word, sh any) {
+	m.roots = append(m.roots, m.h.GlobalWord(w))
+	m.shadows = append(m.shadows, sh)
 }
 
-// pairRoots returns the indices of roots that currently hold pairs.
-func (st *shadowState) pick(kind func(any) bool) (int, bool) {
+// pick returns the index of a root whose shadow satisfies kind.
+func (m *Mutator) pick(kind func(any) bool) (int, bool) {
 	// Random probing keeps this O(1) amortized for well-mixed states.
-	for tries := 0; tries < 16 && len(st.roots) > 0; tries++ {
-		i := st.rng.Intn(len(st.roots))
-		if kind(st.shadows[i]) {
+	for tries := 0; tries < 16 && len(m.roots) > 0; tries++ {
+		i := m.src.Intn(len(m.roots))
+		if kind(m.shadows[i]) {
 			return i, true
 		}
 	}
@@ -72,114 +94,165 @@ func (st *shadowState) pick(kind func(any) bool) (int, bool) {
 
 func isPair(v any) bool { _, ok := v.(*shadowPair); return ok }
 func isVec(v any) bool  { _, ok := v.(*shadowVec); return ok }
+func isBox(v any) bool  { _, ok := v.(*shadowBox); return ok }
+
+// Op applies operation kind k (in [0, NumOps)) to the heap and the shadows.
+// Kinds 0..9 reproduce the original RandomOps mix; 10 and 11 add boxes.
+func (m *Mutator) Op(k int) {
+	h := m.h
+	switch k {
+	case 0, 1, 2: // cons
+		s := h.Scope()
+		r1, sh1 := m.randomValue()
+		r2, sh2 := m.randomValue()
+		p := h.Cons(r1, r2)
+		m.addRoot(h.Get(p), &shadowPair{car: sh1, cdr: sh2})
+		s.Close()
+	case 3: // make-vector
+		s := h.Scope()
+		size := m.src.Intn(6)
+		r, sh := m.randomValue()
+		v := h.MakeVector(size, r)
+		elems := make([]any, size)
+		for i := range elems {
+			elems[i] = sh
+		}
+		m.addRoot(h.Get(v), &shadowVec{elems: elems})
+		s.Close()
+	case 4: // set-car!/set-cdr!
+		if i, ok := m.pick(isPair); ok {
+			s := h.Scope()
+			r, sh := m.randomValue()
+			sp := m.shadows[i].(*shadowPair)
+			target := h.RefOf(m.h.Get(m.roots[i]))
+			if m.src.Intn(2) == 0 {
+				h.SetCar(target, r)
+				sp.car = sh
+			} else {
+				h.SetCdr(target, r)
+				sp.cdr = sh
+			}
+			s.Close()
+		}
+	case 5: // vector-set!
+		if i, ok := m.pick(isVec); ok {
+			sv := m.shadows[i].(*shadowVec)
+			if len(sv.elems) > 0 {
+				s := h.Scope()
+				r, sh := m.randomValue()
+				slot := m.src.Intn(len(sv.elems))
+				h.VectorSet(h.RefOf(m.h.Get(m.roots[i])), slot, r)
+				sv.elems[slot] = sh
+				s.Close()
+			}
+		}
+	case 6: // read car/cdr into a new root
+		if i, ok := m.pick(isPair); ok {
+			s := h.Scope()
+			sp := m.shadows[i].(*shadowPair)
+			target := h.RefOf(m.h.Get(m.roots[i]))
+			if m.src.Intn(2) == 0 {
+				m.addRoot(h.Get(h.Car(target)), sp.car)
+			} else {
+				m.addRoot(h.Get(h.Cdr(target)), sp.cdr)
+			}
+			s.Close()
+		}
+	case 7: // drop a root
+		if len(m.roots) > 1 {
+			i := m.src.Intn(len(m.roots))
+			h.Set(m.roots[i], heap.NullWord)
+			last := len(m.roots) - 1
+			h.Set(m.roots[i], h.Get(m.roots[last]))
+			m.shadows[i] = m.shadows[last]
+			h.Set(m.roots[last], heap.NullWord)
+			m.roots = m.roots[:last]
+			m.shadows = m.shadows[:last]
+		}
+	case 8: // garbage churn
+		Churn(h, 20)
+	case 9: // nothing; density of mutations over allocation varies
+	case 10: // box
+		s := h.Scope()
+		r, sh := m.randomValue()
+		b := h.Box(r)
+		m.addRoot(h.Get(b), &shadowBox{val: sh})
+		s.Close()
+	case 11: // set-box! or unbox into a new root
+		if i, ok := m.pick(isBox); ok {
+			s := h.Scope()
+			sb := m.shadows[i].(*shadowBox)
+			target := h.RefOf(m.h.Get(m.roots[i]))
+			if m.src.Intn(2) == 0 {
+				r, sh := m.randomValue()
+				h.SetBox(target, r)
+				sb.val = sh
+			} else {
+				m.addRoot(h.Get(h.Unbox(target)), sb.val)
+			}
+			s.Close()
+		}
+	}
+}
+
+// Verify compares every root against its shadow, reporting the first
+// divergence.
+func (m *Mutator) Verify() error {
+	for i := range m.roots {
+		seen := map[visitKey]bool{}
+		if !m.equal(m.h.Get(m.roots[i]), m.shadows[i], seen) {
+			return fmt.Errorf("gctest: root %d diverged from its shadow", i)
+		}
+	}
+	return nil
+}
 
 // RandomOps drives n random operations against h/c with the given seed and
 // verifies every root against its shadow at the end (and at every 1/4 mark,
-// right after a forced collection).
+// right after a forced collection). Collectors implementing heap.Verifiable
+// additionally have their declared invariants checked after every collection
+// the run triggers, forced or allocation-driven.
 func RandomOps(t *testing.T, h *heap.Heap, c heap.Collector, n int, seed int64) {
 	t.Helper()
-	st := &shadowState{h: h, rng: rand.New(rand.NewSource(seed))}
+	m := NewMutator(h, rand.New(rand.NewSource(seed)))
+
+	var gcErr error
+	h.SetAfterGC(func() {
+		if gcErr == nil {
+			gcErr = heap.VerifyCollector(h, c)
+		}
+	})
+	defer h.SetAfterGC(nil)
 
 	for op := 0; op < n; op++ {
-		switch st.rng.Intn(10) {
-		case 0, 1, 2: // cons
-			s := h.Scope()
-			r1, sh1 := st.randomValue()
-			r2, sh2 := st.randomValue()
-			p := h.Cons(r1, r2)
-			st.addRoot(h.Get(p), &shadowPair{car: sh1, cdr: sh2})
-			s.Close()
-		case 3: // make-vector
-			s := h.Scope()
-			size := st.rng.Intn(6)
-			r, sh := st.randomValue()
-			v := h.MakeVector(size, r)
-			elems := make([]any, size)
-			for i := range elems {
-				elems[i] = sh
-			}
-			st.addRoot(h.Get(v), &shadowVec{elems: elems})
-			s.Close()
-		case 4: // set-car!/set-cdr!
-			if i, ok := st.pick(isPair); ok {
-				s := h.Scope()
-				r, sh := st.randomValue()
-				sp := st.shadows[i].(*shadowPair)
-				target := h.RefOf(st.h.Get(st.roots[i]))
-				if st.rng.Intn(2) == 0 {
-					h.SetCar(target, r)
-					sp.car = sh
-				} else {
-					h.SetCdr(target, r)
-					sp.cdr = sh
-				}
-				s.Close()
-			}
-		case 5: // vector-set!
-			if i, ok := st.pick(isVec); ok {
-				sv := st.shadows[i].(*shadowVec)
-				if len(sv.elems) > 0 {
-					s := h.Scope()
-					r, sh := st.randomValue()
-					slot := st.rng.Intn(len(sv.elems))
-					h.VectorSet(h.RefOf(st.h.Get(st.roots[i])), slot, r)
-					sv.elems[slot] = sh
-					s.Close()
-				}
-			}
-		case 6: // read car/cdr into a new root
-			if i, ok := st.pick(isPair); ok {
-				s := h.Scope()
-				sp := st.shadows[i].(*shadowPair)
-				target := h.RefOf(st.h.Get(st.roots[i]))
-				if st.rng.Intn(2) == 0 {
-					st.addRoot(h.Get(h.Car(target)), sp.car)
-				} else {
-					st.addRoot(h.Get(h.Cdr(target)), sp.cdr)
-				}
-				s.Close()
-			}
-		case 7: // drop a root
-			if len(st.roots) > 1 {
-				i := st.rng.Intn(len(st.roots))
-				h.Set(st.roots[i], heap.NullWord)
-				last := len(st.roots) - 1
-				h.Set(st.roots[i], h.Get(st.roots[last]))
-				st.shadows[i] = st.shadows[last]
-				h.Set(st.roots[last], heap.NullWord)
-				st.roots = st.roots[:last]
-				st.shadows = st.shadows[:last]
-			}
-		case 8: // garbage churn
-			Churn(h, 20)
-		case 9: // nothing; density of mutations over allocation varies
+		// Intn(10) (not NumOps) preserves the historical op mix; the box ops
+		// are exercised by the fuzz harness.
+		m.Op(m.src.Intn(10))
+		if gcErr != nil {
+			t.Fatalf("op %d: %v", op, gcErr)
 		}
 		if op%(n/4+1) == n/4 {
 			c.Collect()
+			if gcErr != nil {
+				t.Fatalf("op %d: %v", op, gcErr)
+			}
 			if err := heap.Check(h); err != nil {
 				t.Fatalf("op %d: %v", op, err)
 			}
-			st.verifyAll(t, fmt.Sprintf("after collection at op %d", op))
-			if t.Failed() {
-				return
+			if err := m.Verify(); err != nil {
+				t.Fatalf("after collection at op %d: %v", op, err)
 			}
 		}
 	}
 	c.Collect()
+	if gcErr != nil {
+		t.Fatal(gcErr)
+	}
 	if err := heap.Check(h); err != nil {
 		t.Fatal(err)
 	}
-	st.verifyAll(t, "final")
-}
-
-func (st *shadowState) verifyAll(t *testing.T, when string) {
-	t.Helper()
-	for i := range st.roots {
-		seen := map[visitKey]bool{}
-		if !st.equal(st.h.Get(st.roots[i]), st.shadows[i], seen) {
-			t.Errorf("%s: root %d diverged from shadow", when, i)
-			return
-		}
+	if err := m.Verify(); err != nil {
+		t.Fatalf("final: %v", err)
 	}
 }
 
@@ -190,19 +263,19 @@ type visitKey struct {
 
 // equal compares a heap value against a shadow, coinductively (cycles
 // created by set-cdr! terminate through the visited set).
-func (st *shadowState) equal(w heap.Word, sh any, seen map[visitKey]bool) bool {
+func (m *Mutator) equal(w heap.Word, sh any, seen map[visitKey]bool) bool {
 	switch v := sh.(type) {
 	case nil:
 		return w == heap.NullWord
 	case int64:
 		return heap.IsFixnum(w) && heap.FixnumVal(w) == v
 	case float64:
-		if !heap.IsPtr(w) || heap.HeaderType(st.h.Header(w)) != heap.TFlonum {
+		if !heap.IsPtr(w) || heap.HeaderType(m.h.Header(w)) != heap.TFlonum {
 			return false
 		}
-		return math.Float64frombits(uint64(st.h.Payload(w)[0])) == v
+		return math.Float64frombits(uint64(m.h.Payload(w)[0])) == v
 	case *shadowPair:
-		if !heap.IsPtr(w) || heap.HeaderType(st.h.Header(w)) != heap.TPair {
+		if !heap.IsPtr(w) || heap.HeaderType(m.h.Header(w)) != heap.TPair {
 			return false
 		}
 		k := visitKey{w, sh}
@@ -210,10 +283,10 @@ func (st *shadowState) equal(w heap.Word, sh any, seen map[visitKey]bool) bool {
 			return true
 		}
 		seen[k] = true
-		p := st.h.Payload(w)
-		return st.equal(p[0], v.car, seen) && st.equal(p[1], v.cdr, seen)
+		p := m.h.Payload(w)
+		return m.equal(p[0], v.car, seen) && m.equal(p[1], v.cdr, seen)
 	case *shadowVec:
-		if !heap.IsPtr(w) || heap.HeaderType(st.h.Header(w)) != heap.TVector {
+		if !heap.IsPtr(w) || heap.HeaderType(m.h.Header(w)) != heap.TVector {
 			return false
 		}
 		k := visitKey{w, sh}
@@ -221,16 +294,26 @@ func (st *shadowState) equal(w heap.Word, sh any, seen map[visitKey]bool) bool {
 			return true
 		}
 		seen[k] = true
-		p := st.h.Payload(w)
+		p := m.h.Payload(w)
 		if len(p) != len(v.elems) {
 			return false
 		}
 		for i := range p {
-			if !st.equal(p[i], v.elems[i], seen) {
+			if !m.equal(p[i], v.elems[i], seen) {
 				return false
 			}
 		}
 		return true
+	case *shadowBox:
+		if !heap.IsPtr(w) || heap.HeaderType(m.h.Header(w)) != heap.TBox {
+			return false
+		}
+		k := visitKey{w, sh}
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		return m.equal(m.h.Payload(w)[0], v.val, seen)
 	default:
 		return false
 	}

@@ -91,6 +91,22 @@ func (c *Collector) OldWords() int { return c.oldFrom.Cap() }
 // RemsetLen returns the current remembered-set size.
 func (c *Collector) RemsetLen() int { return c.rs.Len() }
 
+// VerifySpec implements heap.Verifiable: the nursery and the active old
+// semispace are live (the old to-space is scratch), and every object
+// outside the nursery that points into it must be remembered.
+func (c *Collector) VerifySpec() heap.VerifySpec {
+	return heap.VerifySpec{
+		Live: []*heap.Space{c.nursery, c.oldFrom},
+		Remsets: []heap.RemsetRule{{
+			Name: "old->nursery",
+			Needs: func(obj, val heap.Word) bool {
+				return heap.PtrSpace(obj) != c.nursery.ID && heap.PtrSpace(val) == c.nursery.ID
+			},
+			Has: c.rs.Contains,
+		}},
+	}
+}
+
 // RecordWrite implements heap.Barrier: remember old objects that point
 // into the nursery.
 func (c *Collector) RecordWrite(obj, val heap.Word) {
@@ -156,6 +172,7 @@ func (c *Collector) minor() {
 	c.stats.AddPause(e.WordsCopied)
 	c.stats.NoteLive(c.oldFrom.Used())
 	c.notePeak()
+	c.h.AfterGC()
 }
 
 // scanRemset treats every remembered object's fields as roots for a minor
@@ -207,6 +224,7 @@ func (c *Collector) major(need int) {
 			c.oldFrom, c.oldTo = c.oldTo, c.oldFrom
 		}
 	}
+	c.h.AfterGC()
 }
 
 // Collect implements heap.Collector with a full (major) collection.

@@ -160,6 +160,38 @@ func (c *Collector) Live() int {
 // RemsetLens returns the current sizes of remembered sets A and B.
 func (c *Collector) RemsetLens() (a, b int) { return c.rsA.Len(), c.rsB.Len() }
 
+// VerifySpec implements heap.Verifiable: the nursery, the k steps, and the
+// static spaces are live (shadows are scratch), and the two remembered sets
+// must cover the §8.4 situations the write barrier records — set A for
+// pointers into the nursery from outside it, set B for young-step pointers
+// into the collected steps and static pointers into any step.
+func (c *Collector) VerifySpec() heap.VerifySpec {
+	live := []*heap.Space{c.nursery}
+	for p := 0; p < c.st.K(); p++ {
+		live = append(live, c.st.Step(p))
+	}
+	live = append(live, c.statics...)
+	return heap.VerifySpec{
+		Live: live,
+		Remsets: []heap.RemsetRule{{
+			Name: "A: outside->nursery",
+			Needs: func(obj, val heap.Word) bool {
+				return heap.PtrSpace(obj) != c.nursery.ID && heap.PtrSpace(val) == c.nursery.ID
+			},
+			Has: c.rsA.Contains,
+		}, {
+			Name: "B: young->old, static->step",
+			Needs: func(obj, val heap.Word) bool {
+				if c.st.InYoung(obj) && c.st.InOld(val) {
+					return true
+				}
+				return c.inStatic[heap.PtrSpace(obj)] && c.st.PosOf(val) >= 0
+			},
+			Has: c.rsB.Contains,
+		}},
+	}
+}
+
 // RecordWrite implements heap.Barrier. Set A records pointers into the
 // nursery from anywhere outside it; set B records pointers into the
 // collected steps from the uncollected young steps (situations 5 and 6)
@@ -269,6 +301,7 @@ func (c *Collector) minor() {
 	c.stats.WordsPromoted += e.WordsCopied
 	c.stats.AddPause(e.WordsCopied)
 	c.notePeaks()
+	c.h.AfterGC()
 }
 
 // regionFree sums free words in logical step positions [lo, hi).
@@ -363,6 +396,7 @@ func (c *Collector) npCollect() {
 	c.stats.AddPause(copied)
 	c.stats.NoteLive(c.st.LiveStepWords())
 	c.notePeaks()
+	c.h.AfterGC()
 }
 
 // Collect implements heap.Collector with a non-predictive collection.
@@ -426,6 +460,7 @@ func (c *Collector) PromoteAllToStatic() {
 	c.stats.WordsCopied += e.WordsCopied
 	c.stats.AddPause(e.WordsCopied)
 	c.notePeaks()
+	c.h.AfterGC()
 }
 
 func (c *Collector) notePeaks() {

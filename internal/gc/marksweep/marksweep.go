@@ -86,6 +86,13 @@ func (c *Collector) Live() int {
 	return n
 }
 
+// VerifySpec implements heap.Verifiable: every managed space is live (the
+// collector never moves objects, so there is no scratch space), and there
+// is no remembered set.
+func (c *Collector) VerifySpec() heap.VerifySpec {
+	return heap.VerifySpec{Live: c.spaces}
+}
+
 // HeapWords returns the total capacity of the managed spaces.
 func (c *Collector) HeapWords() int {
 	n := 0
@@ -197,6 +204,7 @@ func (c *Collector) Collect() {
 	for i, s := range c.spaces {
 		c.sweep(i, s)
 	}
+	c.h.AfterGC()
 }
 
 // sweep walks one space, clearing marks on survivors and merging dead and

@@ -132,6 +132,23 @@ func (c *Collector) Live() int {
 // RemsetLen returns the current remembered-set size.
 func (c *Collector) RemsetLen() int { return c.rs.Len() }
 
+// VerifySpec implements heap.Verifiable: the generations are live (the old
+// to-space is scratch), and every object pointing into a strictly younger
+// generation must be remembered.
+func (c *Collector) VerifySpec() heap.VerifySpec {
+	return heap.VerifySpec{
+		Live: c.gens,
+		Remsets: []heap.RemsetRule{{
+			Name: "older->younger",
+			Needs: func(obj, val heap.Word) bool {
+				go1, gv := c.genIdx(obj), c.genIdx(val)
+				return go1 > gv && gv >= 0
+			},
+			Has: c.rs.Contains,
+		}},
+	}
+}
+
 // RecordWrite implements heap.Barrier: remember objects that point into a
 // strictly younger generation.
 func (c *Collector) RecordWrite(obj, val heap.Word) {
@@ -217,6 +234,7 @@ func (c *Collector) collectUpTo(m int) {
 	c.stats.WordsPromoted += e.WordsCopied
 	c.stats.AddPause(e.WordsCopied)
 	c.notePeak()
+	c.h.AfterGC()
 }
 
 // major collects every generation into the old to-space and flips.
@@ -265,6 +283,7 @@ func (c *Collector) major() {
 			c.rebuildGenOf()
 		}
 	}
+	c.h.AfterGC()
 }
 
 // refilterRemset rescans every surviving entry and keeps only those that

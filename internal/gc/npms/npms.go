@@ -156,6 +156,23 @@ func (c *Collector) Live() int {
 // RemsetLen returns the current remembered-set size.
 func (c *Collector) RemsetLen() int { return c.rs.Len() }
 
+// VerifySpec implements heap.Verifiable: the k steps are live (shadows are
+// scratch), and every object in steps 1..j pointing into steps j+1..k must
+// be remembered.
+func (c *Collector) VerifySpec() heap.VerifySpec {
+	return heap.VerifySpec{
+		Live: c.steps,
+		Remsets: []heap.RemsetRule{{
+			Name: "young->old",
+			Needs: func(obj, val heap.Word) bool {
+				po := c.posOf(obj)
+				return po >= 0 && po < c.j && c.posOf(val) >= c.j
+			},
+			Has: c.rs.Contains,
+		}},
+	}
+}
+
 func (c *Collector) rebuildPos() {
 	if n := len(c.h.Spaces); n > len(c.pos) {
 		c.pos = append(c.pos, make([]int32, n-len(c.pos))...)
@@ -293,6 +310,7 @@ func (c *Collector) markSweepCollect() {
 	c.stats.AddPause(m.WordsMarked)
 	c.stats.NoteLive(c.Live())
 	c.finishCollection()
+	c.h.AfterGC()
 }
 
 // compact evacuates the live contents of steps j+1..k into shadow spaces
@@ -355,6 +373,7 @@ func (c *Collector) compact() {
 	c.stats.AddPause(e.WordsCopied)
 	c.stats.NoteLive(c.Live())
 	c.finishCollection()
+	c.h.AfterGC()
 }
 
 // rename reorders the collected steps by ascending occupancy (emptiest

@@ -65,6 +65,12 @@ func (c *Collector) GCStats() *heap.GCStats { return &c.stats }
 // Live returns the words in use in the active semispace.
 func (c *Collector) Live() int { return c.from.Used() }
 
+// VerifySpec implements heap.Verifiable: between collections only the
+// active semispace holds objects; the to-space is scratch.
+func (c *Collector) VerifySpec() heap.VerifySpec {
+	return heap.VerifySpec{Live: []*heap.Space{c.from}}
+}
+
 // SemiWords returns the current semispace capacity.
 func (c *Collector) SemiWords() int { return c.from.Cap() }
 
@@ -117,4 +123,5 @@ func (c *Collector) collect(need int) {
 			c.from, c.to = c.to, c.from
 		}
 	}
+	c.h.AfterGC()
 }

@@ -1,0 +1,89 @@
+package heap
+
+import (
+	"strings"
+	"testing"
+)
+
+// Check is the quick structural pass (Verify is the deep catalog); these
+// tests pin down that each corruption class it covers yields a distinct,
+// descriptive diagnosis.
+
+func checkFixture(t *testing.T) (*Heap, *Space) {
+	t.Helper()
+	h := New()
+	s := h.NewSpace("arena", 128)
+	h.GlobalWord(buildChain(t, h, s, 4))
+	if err := Check(h); err != nil {
+		t.Fatalf("fixture not clean: %v", err)
+	}
+	return h, s
+}
+
+func wantCheckError(t *testing.T, h *Heap, fragment string) {
+	t.Helper()
+	err := Check(h)
+	if err == nil {
+		t.Fatalf("corruption not detected, want error mentioning %q", fragment)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Errorf("diagnosis %q does not mention %q", err, fragment)
+	}
+}
+
+func TestCheckMalformedHeader(t *testing.T) {
+	h, s := checkFixture(t)
+	s.Mem[0] = FixnumWord(5)
+	wantCheckError(t, h, "not a header")
+}
+
+func TestCheckStaleMark(t *testing.T) {
+	h, s := checkFixture(t)
+	s.Mem[0] = SetMark(s.Mem[0])
+	wantCheckError(t, h, "stale mark")
+}
+
+func TestCheckBlockOverrun(t *testing.T) {
+	h, s := checkFixture(t)
+	s.Mem[0] = HeaderWord(TVector, 1000)
+	wantCheckError(t, h, "overruns")
+}
+
+func TestCheckDanglingPointerPastTop(t *testing.T) {
+	h, s := checkFixture(t)
+	s.Mem[2] = PtrWord(s.ID, s.Top+6) // cdr of pair 0
+	wantCheckError(t, h, "past bump pointer")
+}
+
+func TestCheckPointerToNonHeader(t *testing.T) {
+	h, s := checkFixture(t)
+	s.Mem[2] = PtrWord(s.ID, 1) // into pair 0's payload
+	wantCheckError(t, h, "non-header")
+}
+
+func TestCheckReachableFreeBlock(t *testing.T) {
+	h, s := checkFixture(t)
+	s.Mem[3] = HeaderWord(TFree, 2) // kill pair 1, still referenced by pair 2
+	s.Mem[5] = NullWord
+	wantCheckError(t, h, "free block")
+}
+
+func TestCheckUnknownSpace(t *testing.T) {
+	h, s := checkFixture(t)
+	s.Mem[2] = PtrWord(77, 0)
+	wantCheckError(t, h, "unknown space")
+}
+
+// TestCheckIgnoresUnreachableGarbage: Check traces from roots, so a
+// dangling pointer inside a dead object is not its business (Verify's space
+// scan is the pass that would catch it when the space is declared live).
+func TestCheckIgnoresUnreachableGarbage(t *testing.T) {
+	h := New()
+	s := h.NewSpace("arena", 128)
+	off, _ := s.Bump(3)
+	h.InitObject(s, off, TPair, 2)
+	s.Mem[off+1] = PtrWord(77, 0) // dangling, but unrooted
+	if err := Check(h); err != nil {
+		t.Fatalf("Check rejected unreachable garbage: %v", err)
+	}
+}

@@ -117,6 +117,12 @@ type Heap struct {
 	// precise epoch boundaries.
 	hook     func()
 	hookNext uint64
+
+	// afterGC, when non-nil, runs every time a collector finishes a
+	// collection (the verifier's hook). Collectors fire it via AfterGC at
+	// the end of every collection routine, once the heap, remembered sets,
+	// and renaming are back in their between-collections state.
+	afterGC func()
 }
 
 // Option configures a Heap at creation.
@@ -155,6 +161,21 @@ func (h *Heap) SetBarrier(b Barrier) {
 		return
 	}
 	h.barrier = b
+}
+
+// SetAfterGC installs f to run at the end of every collection; nil removes
+// it. Tests and the fuzz harness install a verifying callback here, so the
+// default cost is one nil check per collection.
+func (h *Heap) SetAfterGC(f func()) { h.afterGC = f }
+
+// AfterGC fires the after-collection hook. Every collector calls this
+// exactly when a collection's bookkeeping (renaming, remembered-set
+// rebuilds, statistics) is complete and the heap satisfies its
+// between-collections invariants.
+func (h *Heap) AfterGC() {
+	if h.afterGC != nil {
+		h.afterGC()
+	}
 }
 
 // AddRootSet registers an extra set of root slots visited by every trace.

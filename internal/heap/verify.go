@@ -1,0 +1,292 @@
+package heap
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file implements the deep heap-invariant verifier. Where Check is a
+// quick structural sanity pass (parse + reachability), Verify validates the
+// full invariant catalog a collector promises between collections:
+//
+//   1. Every live space parses as a sequence of well-formed blocks ending
+//      exactly at its bump pointer.
+//   2. No block header is a forwarding pointer (stale forwarding) or carries
+//      a mark bit (stale mark) after a collection has finished.
+//   3. Every pointer — in a root slot or a live object's payload — targets a
+//      live space, lands exactly on an object start, and that object is not
+//      a free block.
+//   4. With census tracking on, every object's hidden birth-stamp word is a
+//      fixnum no later than the current allocation clock.
+//   5. Remembered-set completeness: for every rule a collector declares,
+//      every object whose fields demand an entry is actually in the set
+//      (§8.4's six situations reduce to these per-collector rules).
+//
+// Verification is opt-in: collectors fire Heap.AfterGC at the end of every
+// collection, and the hook is nil unless a test (or the fuzz harness)
+// installs a verifying callback, so benchmarks pay one nil check per
+// collection and nothing per slot.
+
+// Error kinds reported by Verify, one per invariant class, so tests can
+// assert that a seeded corruption produces exactly the expected diagnosis.
+var (
+	ErrMalformedHeader = errors.New("malformed header")
+	ErrStaleForwarding = errors.New("stale forwarding pointer")
+	ErrStaleMark       = errors.New("stale mark bit")
+	ErrBlockOverrun    = errors.New("block overruns space")
+	ErrDanglingPointer = errors.New("dangling pointer")
+	ErrBadCensusWord   = errors.New("bad census word")
+	ErrRemsetMissing   = errors.New("remembered-set entry missing")
+)
+
+// RemsetRule is one remembered-set completeness contract: whenever a live
+// object obj holds a pointer val with Needs(obj, val) true, Has(obj) must be
+// true. Collectors declare one rule per remembered set. Rules state
+// completeness only — sets may hold extra (stale or nepotistic) entries.
+type RemsetRule struct {
+	Name string
+	// Needs reports whether an object obj containing pointer val requires a
+	// remembered-set entry for obj.
+	Needs func(obj, val Word) bool
+	// Has reports whether obj is currently in the remembered set.
+	Has func(obj Word) bool
+}
+
+// VerifySpec describes a collector's invariant surface to the verifier.
+type VerifySpec struct {
+	// Live lists the spaces reachable pointers may target. Spaces not listed
+	// (to-spaces, shadow steps) are scratch: a pointer into one is dangling.
+	// An empty Live means every space is live.
+	Live []*Space
+	// Remsets are the collector's remembered-set completeness contracts.
+	Remsets []RemsetRule
+}
+
+// Verifiable is implemented by collectors that can describe their current
+// invariant surface. The spec must be recomputed per call: space roles
+// change as collections flip, rename, and grow spaces.
+type Verifiable interface {
+	VerifySpec() VerifySpec
+}
+
+// VerifyCollector verifies h under c's declared spec, or under a whole-heap
+// spec with no remembered-set rules when c declares none.
+func VerifyCollector(h *Heap, c Collector) error {
+	if v, ok := c.(Verifiable); ok {
+		return Verify(h, v.VerifySpec())
+	}
+	return Verify(h, VerifySpec{})
+}
+
+// maxVerifyErrors caps the diagnoses collected per Verify call; one is
+// usually enough to localize a bug and corrupt heaps can fail everywhere.
+const maxVerifyErrors = 8
+
+// verifier carries one Verify run's state.
+type verifier struct {
+	h    *Heap
+	spec VerifySpec
+	// live[id] reports whether space id may hold reachable objects.
+	live []bool
+	// starts[id] maps block offsets in live space id to that block's header
+	// word, for the pointer-target checks.
+	starts []map[int]Word
+	errs   []error
+}
+
+func (v *verifier) errorf(kind error, format string, args ...any) bool {
+	if len(v.errs) < maxVerifyErrors {
+		v.errs = append(v.errs, fmt.Errorf("heap.Verify: %w: %s", kind, fmt.Sprintf(format, args...)))
+	}
+	return len(v.errs) < maxVerifyErrors
+}
+
+// Verify checks every invariant in the catalog above and returns all
+// diagnoses joined (nil for a clean heap). It never mutates the heap.
+func Verify(h *Heap, spec VerifySpec) error {
+	v := &verifier{h: h, spec: spec, live: make([]bool, len(h.Spaces))}
+	if len(spec.Live) == 0 {
+		for i := range v.live {
+			v.live[i] = true
+		}
+	} else {
+		for _, s := range spec.Live {
+			v.live[s.ID] = true
+		}
+	}
+	v.starts = make([]map[int]Word, len(h.Spaces))
+
+	v.parseSpaces()
+	if len(v.errs) == 0 {
+		// Pointer checks index the block-start tables; skip them when the
+		// parse already failed, as the tables may be incomplete.
+		v.scanObjects()
+		v.scanRoots()
+		v.checkRemsets()
+	}
+	return errors.Join(v.errs...)
+}
+
+// parseSpaces walks every live space below its bump pointer and builds the
+// block-start tables, diagnosing malformed headers, stale forwarding
+// pointers, stale marks, bad types, and size overruns.
+func (v *verifier) parseSpaces() {
+	for _, s := range v.h.Spaces {
+		if !v.live[s.ID] {
+			continue
+		}
+		starts := make(map[int]Word)
+		v.starts[s.ID] = starts
+		for off := 0; off < s.Top; {
+			hdr := s.Mem[off]
+			if !IsHeader(hdr) {
+				if IsPtr(hdr) {
+					if !v.errorf(ErrStaleForwarding, "%v: block at %d forwards to space %d off %d after collection",
+						s, off, PtrSpace(hdr), PtrOff(hdr)) {
+						return
+					}
+				} else if !v.errorf(ErrMalformedHeader, "%v: word %d is not a header (%#x)", s, off, uint64(hdr)) {
+					return
+				}
+				break // cannot resynchronize a broken parse
+			}
+			if t := HeaderType(hdr); t >= numTypes {
+				if !v.errorf(ErrMalformedHeader, "%v: bad type %d at %d", s, t, off) {
+					return
+				}
+				break
+			}
+			if Marked(hdr) && !v.errorf(ErrStaleMark, "%v: mark bit still set at %d", s, off) {
+				return
+			}
+			n := ObjWords(hdr)
+			if n <= 0 || off+n > s.Top {
+				if !v.errorf(ErrBlockOverrun, "%v: block at %d has %d words, %d remain", s, off, n, s.Top-off) {
+					return
+				}
+				break
+			}
+			starts[off] = hdr
+			off += n
+		}
+	}
+}
+
+// checkPtr validates one pointer: it must target a live space, land on an
+// object start, and that object must not be free. what produces the slot
+// description lazily, so clean slots (the overwhelming majority) pay nothing
+// for diagnostics.
+func (v *verifier) checkPtr(w Word, what func() string) bool {
+	id := PtrSpace(w)
+	if int(id) >= len(v.h.Spaces) {
+		return v.errorf(ErrDanglingPointer, "%s points to unknown space %d", what(), id)
+	}
+	if !v.live[id] {
+		return v.errorf(ErrDanglingPointer, "%s points into scratch space %v", what(), v.h.Spaces[id])
+	}
+	s := v.h.Spaces[id]
+	off := PtrOff(w)
+	if off >= s.Top {
+		return v.errorf(ErrDanglingPointer, "%s points past the bump pointer of %v (off %d)", what(), s, off)
+	}
+	hdr, ok := v.starts[id][off]
+	if !ok {
+		return v.errorf(ErrDanglingPointer, "%s points into the middle of an object (%v off %d)", what(), s, off)
+	}
+	if HeaderType(hdr) == TFree {
+		return v.errorf(ErrDanglingPointer, "%s points into a free block (%v off %d)", what(), s, off)
+	}
+	return true
+}
+
+// scanObjects validates the payloads of every non-free block in every live
+// space: census words are in-range fixnums and pointer slots pass checkPtr.
+// Free blocks are skipped entirely — their payloads are dead storage (the
+// free-list link plus whatever the dead object left behind).
+func (v *verifier) scanObjects() {
+	extra := v.h.ExtraWords()
+	now := v.h.Now()
+	for _, s := range v.h.Spaces {
+		if !v.live[s.ID] {
+			continue
+		}
+		for off, hdr := range v.starts[s.ID] {
+			t := HeaderType(hdr)
+			if t == TFree {
+				continue
+			}
+			if extra == 1 {
+				stamp := s.Mem[off+1]
+				if !IsFixnum(stamp) {
+					if !v.errorf(ErrBadCensusWord, "%v off %d: birth stamp is not a fixnum (%#x)", s, off, uint64(stamp)) {
+						return
+					}
+				} else if bs := FixnumVal(stamp); bs < 0 || uint64(bs) > now {
+					if !v.errorf(ErrBadCensusWord, "%v off %d: birth stamp %d outside [0, %d]", s, off, bs, now) {
+						return
+					}
+				}
+			}
+			if RawPayload(t) {
+				continue
+			}
+			for i := off + 1 + extra; i <= off+HeaderSize(hdr); i++ {
+				w := s.Mem[i]
+				if !IsPtr(w) {
+					continue
+				}
+				if !v.checkPtr(w, func() string {
+					return fmt.Sprintf("slot %d of %v object at %v off %d", i-off-1, t, s, off)
+				}) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// scanRoots validates every root slot: the handle stack, globals, and any
+// collector-registered extras.
+func (v *verifier) scanRoots() {
+	i := 0
+	v.h.VisitRoots(func(slot *Word) {
+		if IsPtr(*slot) && len(v.errs) < maxVerifyErrors {
+			n := i
+			v.checkPtr(*slot, func() string { return fmt.Sprintf("root slot %d", n) })
+		}
+		i++
+	})
+}
+
+// checkRemsets enforces every declared completeness rule over every live
+// non-free object.
+func (v *verifier) checkRemsets() {
+	extra := v.h.ExtraWords()
+	for _, rule := range v.spec.Remsets {
+		for _, s := range v.h.Spaces {
+			if !v.live[s.ID] {
+				continue
+			}
+			for off, hdr := range v.starts[s.ID] {
+				t := HeaderType(hdr)
+				if t == TFree || RawPayload(t) {
+					continue
+				}
+				obj := PtrWord(s.ID, off)
+				for i := off + 1 + extra; i <= off+HeaderSize(hdr); i++ {
+					w := s.Mem[i]
+					if !IsPtr(w) || !rule.Needs(obj, w) {
+						continue
+					}
+					if !rule.Has(obj) {
+						if !v.errorf(ErrRemsetMissing, "rule %q: object at %v off %d points to space %d off %d but is not remembered",
+							rule.Name, s, off, PtrSpace(w), PtrOff(w)) {
+							return
+						}
+					}
+					break // one demanding slot settles this object for this rule
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+package heap
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// These tests seed one corruption class each into an otherwise healthy heap
+// and assert that Verify diagnoses it as exactly that class (errors.Is
+// against the sentinel) with a description naming the spot.
+
+// verifyFixture is a heap with one live space holding a rooted chain of
+// pairs and one scratch space, the smallest layout on which every invariant
+// class can be violated.
+type verifyFixture struct {
+	h       *Heap
+	live    *Space
+	scratch *Space
+	head    Word
+	spec    VerifySpec
+}
+
+// buildChainCensus is buildChain with room for the hidden birth-stamp word
+// when the heap has census tracking on.
+func buildChainCensus(t testing.TB, h *Heap, s *Space, n int) Word {
+	t.Helper()
+	extra := h.ExtraWords()
+	prev := NullWord
+	for i := 0; i < n; i++ {
+		off, ok := s.Bump(3 + extra)
+		if !ok {
+			t.Fatalf("space %q too small for %d pairs", s.Name, n)
+		}
+		w := h.InitObject(s, off, TPair, 2)
+		s.Mem[off+1+extra] = FixnumWord(int64(i))
+		s.Mem[off+2+extra] = prev
+		prev = w
+	}
+	return prev
+}
+
+func newVerifyFixture(t *testing.T, opts ...Option) *verifyFixture {
+	t.Helper()
+	h := New(opts...)
+	live := h.NewSpace("live", 256)
+	scratch := h.NewSpace("scratch", 256)
+	head := buildChainCensus(t, h, live, 8)
+	h.GlobalWord(head)
+	f := &verifyFixture{h: h, live: live, scratch: scratch, head: head,
+		spec: VerifySpec{Live: []*Space{live}}}
+	if err := Verify(h, f.spec); err != nil {
+		t.Fatalf("fixture not clean: %v", err)
+	}
+	return f
+}
+
+func (f *verifyFixture) expect(t *testing.T, kind error, fragment string) {
+	t.Helper()
+	err := Verify(f.h, f.spec)
+	if err == nil {
+		t.Fatalf("corruption not detected, want %v", kind)
+	}
+	if !errors.Is(err, kind) {
+		t.Fatalf("diagnosed %v, want %v", err, kind)
+	}
+	if fragment != "" && !strings.Contains(err.Error(), fragment) {
+		t.Errorf("diagnosis %q does not mention %q", err, fragment)
+	}
+}
+
+func TestVerifyMalformedHeader(t *testing.T) {
+	f := newVerifyFixture(t)
+	f.live.Mem[0] = FixnumWord(42) // clobber the first header
+	f.expect(t, ErrMalformedHeader, "not a header")
+}
+
+func TestVerifyBadType(t *testing.T) {
+	f := newVerifyFixture(t)
+	f.live.Mem[0] = HeaderWord(numTypes+3, 2)
+	f.expect(t, ErrMalformedHeader, "bad type")
+}
+
+func TestVerifyStaleForwarding(t *testing.T) {
+	f := newVerifyFixture(t)
+	// A forwarding pointer is what an evacuated object's header looks like
+	// mid-collection; finding one afterwards means a space was left dirty.
+	f.live.Mem[3] = PtrWord(f.scratch.ID, 0)
+	f.expect(t, ErrStaleForwarding, "forwards to")
+}
+
+func TestVerifyStaleMark(t *testing.T) {
+	f := newVerifyFixture(t)
+	f.live.Mem[0] = SetMark(f.live.Mem[0])
+	f.expect(t, ErrStaleMark, "mark bit")
+}
+
+func TestVerifyBlockOverrun(t *testing.T) {
+	f := newVerifyFixture(t)
+	f.live.Mem[0] = HeaderWord(TVector, f.live.Top+100)
+	f.expect(t, ErrBlockOverrun, "overrun")
+}
+
+func TestVerifyDanglingPointerClasses(t *testing.T) {
+	t.Run("unknown space", func(t *testing.T) {
+		f := newVerifyFixture(t)
+		f.live.Mem[2] = PtrWord(99, 0) // cdr slot of the first pair
+		f.expect(t, ErrDanglingPointer, "unknown space")
+	})
+	t.Run("scratch space", func(t *testing.T) {
+		f := newVerifyFixture(t)
+		f.live.Mem[2] = PtrWord(f.scratch.ID, 0)
+		f.expect(t, ErrDanglingPointer, "scratch")
+	})
+	t.Run("past bump pointer", func(t *testing.T) {
+		f := newVerifyFixture(t)
+		f.live.Mem[2] = PtrWord(f.live.ID, f.live.Top+3)
+		f.expect(t, ErrDanglingPointer, "past the bump pointer")
+	})
+	t.Run("object interior", func(t *testing.T) {
+		f := newVerifyFixture(t)
+		f.live.Mem[2] = PtrWord(f.live.ID, 1) // payload of pair 0, not a start
+		f.expect(t, ErrDanglingPointer, "middle of an object")
+	})
+	t.Run("free block", func(t *testing.T) {
+		f := newVerifyFixture(t)
+		f.live.Mem[3] = HeaderWord(TFree, 2) // kill the second pair
+		f.live.Mem[5] = NullWord             // drop its stale chain pointer
+		f.live.Mem[2] = PtrWord(f.live.ID, 3)
+		f.expect(t, ErrDanglingPointer, "free block")
+	})
+	t.Run("root slot", func(t *testing.T) {
+		f := newVerifyFixture(t)
+		f.h.GlobalWord(PtrWord(f.scratch.ID, 0))
+		f.expect(t, ErrDanglingPointer, "root slot")
+	})
+}
+
+func TestVerifyBadCensusWord(t *testing.T) {
+	t.Run("not a fixnum", func(t *testing.T) {
+		f := newVerifyFixture(t, WithCensus())
+		f.live.Mem[1] = NullWord // the hidden birth stamp of pair 0
+		f.expect(t, ErrBadCensusWord, "not a fixnum")
+	})
+	t.Run("from the future", func(t *testing.T) {
+		f := newVerifyFixture(t, WithCensus())
+		f.live.Mem[1] = FixnumWord(int64(f.h.Now()) + 1000)
+		f.expect(t, ErrBadCensusWord, "outside")
+	})
+}
+
+func TestVerifyRemsetCompleteness(t *testing.T) {
+	f := newVerifyFixture(t)
+	// Every pair whose cdr is a pointer demands an entry; an empty set
+	// violates the rule, a complete Has satisfies it.
+	demanding := func(obj, val Word) bool { return IsPtr(val) }
+	f.spec.Remsets = []RemsetRule{{Name: "all-ptrs", Needs: demanding, Has: func(Word) bool { return false }}}
+	f.expect(t, ErrRemsetMissing, `rule "all-ptrs"`)
+
+	f.spec.Remsets[0].Has = func(Word) bool { return true }
+	if err := Verify(f.h, f.spec); err != nil {
+		t.Fatalf("complete set rejected: %v", err)
+	}
+}
+
+// TestVerifyEmptyLiveMeansAllSpaces: the default spec treats every space as
+// live, so a pointer into any registered space is fine.
+func TestVerifyEmptyLiveMeansAllSpaces(t *testing.T) {
+	f := newVerifyFixture(t)
+	buildChain(t, f.h, f.scratch, 2)
+	if err := Verify(f.h, VerifySpec{}); err != nil {
+		t.Fatalf("whole-heap spec rejected a healthy heap: %v", err)
+	}
+}
+
+// TestVerifyErrorCap: a heap corrupted in many places reports at most
+// maxVerifyErrors diagnoses rather than flooding the failure output.
+func TestVerifyErrorCap(t *testing.T) {
+	h := New()
+	live := h.NewSpace("live", 512)
+	for i := 0; i < 40; i++ {
+		off, _ := live.Bump(3)
+		w := h.InitObject(live, off, TPair, 2)
+		live.Mem[off+1] = PtrWord(99, 0) // dangling in every object
+		live.Mem[off+2] = NullWord
+		h.GlobalWord(w)
+	}
+	err := Verify(h, VerifySpec{})
+	if err == nil {
+		t.Fatal("corruptions not detected")
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("Verify did not return a joined error: %T", err)
+	}
+	if n := len(joined.Unwrap()); n > maxVerifyErrors {
+		t.Errorf("%d diagnoses reported, cap is %d", n, maxVerifyErrors)
+	}
+}
+
+// TestVerifyCollectorWithoutSpec: collectors that do not implement
+// Verifiable still get the whole-heap catalog.
+func TestVerifyCollectorWithoutSpec(t *testing.T) {
+	h := New()
+	live := h.NewSpace("live", 64)
+	h.GlobalWord(buildChain(t, h, live, 2))
+	if err := VerifyCollector(h, nil); err != nil {
+		t.Fatalf("whole-heap verify failed: %v", err)
+	}
+	live.Mem[0] = FixnumWord(1)
+	if err := VerifyCollector(h, nil); !errors.Is(err, ErrMalformedHeader) {
+		t.Fatalf("got %v, want %v", err, ErrMalformedHeader)
+	}
+}
+
+// TestVerifyDoesNotMutate: a verify pass over a corrupt heap must leave
+// every word untouched, or it would mask the bug it found.
+func TestVerifyDoesNotMutate(t *testing.T) {
+	f := newVerifyFixture(t)
+	f.live.Mem[2] = PtrWord(f.scratch.ID, 7)
+	before := append([]Word(nil), f.live.Mem...)
+	if err := Verify(f.h, f.spec); err == nil {
+		t.Fatal("corruption not detected")
+	}
+	for i, w := range f.live.Mem {
+		if before[i] != w {
+			t.Fatalf("Verify mutated word %d: %#x -> %#x", i, uint64(before[i]), uint64(w))
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package heap
+
+import "testing"
+
+func TestWalkSpaceVisitsEveryBlockInOrder(t *testing.T) {
+	h := New()
+	s := h.NewSpace("walk", 64)
+	buildChain(t, h, s, 3) // pairs at 0, 3, 6
+	// A free block and a raw object complete the block zoo.
+	off, _ := s.Bump(4)
+	s.Mem[off] = HeaderWord(TFree, 3)
+	fOff, _ := s.Bump(2)
+	h.InitObject(s, fOff, TFlonum, 1)
+
+	var offs []int
+	var types []Type
+	WalkSpace(s, func(o int, hdr Word) bool {
+		offs = append(offs, o)
+		types = append(types, HeaderType(hdr))
+		return true
+	})
+	wantOffs := []int{0, 3, 6, 9, 13}
+	wantTypes := []Type{TPair, TPair, TPair, TFree, TFlonum}
+	if len(offs) != len(wantOffs) {
+		t.Fatalf("visited %v, want %v", offs, wantOffs)
+	}
+	for i := range wantOffs {
+		if offs[i] != wantOffs[i] || types[i] != wantTypes[i] {
+			t.Errorf("block %d: (%d, %v), want (%d, %v)", i, offs[i], types[i], wantOffs[i], wantTypes[i])
+		}
+	}
+}
+
+func TestWalkSpaceEarlyStop(t *testing.T) {
+	h := New()
+	s := h.NewSpace("walk", 64)
+	buildChain(t, h, s, 5)
+	n := 0
+	WalkSpace(s, func(int, Word) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Errorf("visited %d blocks after stop, want 2", n)
+	}
+}
+
+func TestWalkSpacePanicsOnCorruptSpace(t *testing.T) {
+	h := New()
+	s := h.NewSpace("walk", 64)
+	buildChain(t, h, s, 2)
+	s.Mem[3] = FixnumWord(9)
+	defer func() {
+		if recover() == nil {
+			t.Error("WalkSpace did not panic on a non-header word")
+		}
+	}()
+	WalkSpace(s, func(int, Word) bool { return true })
+}
+
+func TestScanObjectSkipsRawPayloads(t *testing.T) {
+	h := New()
+	s := h.NewSpace("scan", 64)
+	pOff, _ := s.Bump(3)
+	h.InitObject(s, pOff, TPair, 2)
+	fOff, _ := s.Bump(2)
+	h.InitObject(s, fOff, TFlonum, 1)
+	// Flonum bits can collide with the pointer tag; ScanObject must never
+	// show them to a visitor.
+	s.Mem[fOff+1] = Word(0xdeadbeef)<<2 | TagPtr
+
+	count := func(off int) int {
+		n := 0
+		ScanObject(s, off, func(*Word) { n++ })
+		return n
+	}
+	if got := count(pOff); got != 2 {
+		t.Errorf("pair scanned %d slots, want 2", got)
+	}
+	if got := count(fOff); got != 0 {
+		t.Errorf("flonum scanned %d slots, want 0", got)
+	}
+}
+
+func TestScanObjectIncludesCensusWord(t *testing.T) {
+	h := New(WithCensus())
+	s := h.NewSpace("scan", 64)
+	off, _ := s.Bump(4)
+	h.InitObject(s, off, TPair, 2)
+	n := 0
+	ScanObject(s, off, func(slot *Word) {
+		if n == 0 && !IsFixnum(*slot) {
+			t.Error("first visited slot should be the fixnum birth stamp")
+		}
+		n++
+	})
+	if n != 3 {
+		t.Errorf("scanned %d slots, want 3 (stamp + car + cdr)", n)
+	}
+}
+
+func TestLiveWordsExcludesFreeBlocks(t *testing.T) {
+	h := New()
+	s := h.NewSpace("live", 64)
+	buildChain(t, h, s, 2) // 6 live words
+	off, _ := s.Bump(5)
+	s.Mem[off] = HeaderWord(TFree, 4)
+	if got := LiveWords(s); got != 6 {
+		t.Errorf("LiveWords = %d, want 6", got)
+	}
+}

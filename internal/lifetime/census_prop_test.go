@@ -1,0 +1,132 @@
+package lifetime
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rdgc/internal/gc/semispace"
+	"rdgc/internal/heap"
+)
+
+// Property test: under randomized allocation/death schedules, every census
+// must agree bucket-for-bucket with an independent brute-force recount. The
+// recount is a plain depth-first trace from the roots with a Go map as the
+// visited set — it shares no code with TakeCensus's mark-and-walk pass, so
+// agreement pins down both the marker and the bucketing arithmetic.
+
+func recountByEpoch(h *heap.Heap, epochWords uint64) []uint64 {
+	seen := map[heap.Word]bool{}
+	var stack []heap.Word
+	push := func(w heap.Word) {
+		if heap.IsPtr(w) && !seen[w] {
+			seen[w] = true
+			stack = append(stack, w)
+		}
+	}
+	h.VisitRoots(func(slot *heap.Word) { push(*slot) })
+	var buckets []uint64
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		s := h.SpaceOf(w)
+		off := heap.PtrOff(w)
+		e := int(h.BirthStamp(w) / epochWords)
+		for len(buckets) <= e {
+			buckets = append(buckets, 0)
+		}
+		buckets[e] += uint64(heap.ObjWords(s.Mem[off]))
+		heap.ScanObject(s, off, func(slot *heap.Word) { push(*slot) })
+	}
+	return buckets
+}
+
+func trimZeros(b []uint64) []uint64 {
+	for len(b) > 0 && b[len(b)-1] == 0 {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+func TestCensusMatchesBruteForceRecount(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			epoch := uint64(64 + rng.Intn(448))
+			h := heap.New(heap.WithCensus())
+			c := semispace.New(h, 1<<14, semispace.WithExpansion(2))
+
+			s := h.Scope()
+			defer s.Close()
+			roots := make([]heap.Ref, 12)
+			for i := range roots {
+				roots[i] = h.Null()
+			}
+			pick := func() heap.Ref { return roots[rng.Intn(len(roots))] }
+
+			audit := func(op int) {
+				snap := TakeCensus(h, epoch)
+				if snap.At != h.Now() {
+					t.Fatalf("op %d: snapshot at %d, clock says %d", op, snap.At, h.Now())
+				}
+				want := trimZeros(recountByEpoch(h, epoch))
+				got := trimZeros(snap.LiveByBirthEpoch)
+				if len(got) != len(want) {
+					t.Fatalf("op %d: census has %d epochs, recount %d\ncensus:  %v\nrecount: %v",
+						op, len(got), len(want), got, want)
+				}
+				for e := range want {
+					if got[e] != want[e] {
+						t.Fatalf("op %d: epoch %d: census %d words, recount %d",
+							op, e, got[e], want[e])
+					}
+				}
+				// The census promises to clear its marks; a structural check
+				// right after would catch any it left behind.
+				if err := heap.Check(h); err != nil {
+					t.Fatalf("op %d: heap dirty after census: %v", op, err)
+				}
+			}
+
+			for op := 0; op < 1500; op++ {
+				func() {
+					s2 := h.Scope()
+					defer s2.Close()
+					dst := rng.Intn(len(roots))
+					switch rng.Intn(10) {
+					case 0, 1, 2: // grow a list on a random root
+						v := h.Cons(h.Fix(int64(op)), h.Dup(pick()))
+						h.Set(roots[dst], h.Get(v))
+					case 3: // fresh vector sharing a random structure
+						v := h.MakeVector(1+rng.Intn(6), h.Dup(pick()))
+						h.Set(roots[dst], h.Get(v))
+					case 4: // mutate a pair field
+						r := pick()
+						if h.IsPair(r) {
+							h.SetCar(r, h.Dup(pick()))
+						}
+					case 5: // mutate a vector slot
+						r := pick()
+						if h.IsVector(r) {
+							h.VectorSet(r, rng.Intn(h.VectorLen(r)), h.Dup(pick()))
+						}
+					case 6: // death: drop a root
+						h.Set(roots[dst], heap.NullWord)
+					case 7:
+						c.Collect()
+					case 8: // box sharing a random value
+						v := h.Box(h.Dup(pick()))
+						h.Set(roots[dst], h.Get(v))
+					case 9: // raw-payload object (no outgoing pointers)
+						v := h.Flonum(float64(op) * 0.5)
+						h.Set(roots[dst], h.Get(v))
+					}
+				}()
+				if op%250 == 249 {
+					audit(op)
+				}
+			}
+			audit(1500)
+		})
+	}
+}

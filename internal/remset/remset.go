@@ -26,6 +26,10 @@ import (
 type Set interface {
 	// Remember adds the object w points to.
 	Remember(w heap.Word)
+	// Contains reports whether w is currently in the set. It sits on the
+	// verifier's path, not the mutator's, so it may be slower than Remember
+	// (the SSB scans its whole buffer).
+	Contains(w heap.Word) bool
 	// ForEach visits each remembered object exactly once.
 	ForEach(f func(w heap.Word))
 	// Clear empties the set.
@@ -110,6 +114,22 @@ func (s *HashSet) grow() {
 			i = (i + 1) & mask
 		}
 		s.table[i] = w
+	}
+}
+
+// Contains implements Set with the same linear probe as Remember.
+func (s *HashSet) Contains(w heap.Word) bool {
+	if len(s.table) == 0 {
+		return false
+	}
+	mask := uint64(len(s.table) - 1)
+	for i := hashWord(w) & mask; ; i = (i + 1) & mask {
+		switch s.table[i] {
+		case 0:
+			return false
+		case w:
+			return true
+		}
 	}
 }
 
@@ -205,6 +225,17 @@ func (s *SSB) dedup() {
 	if len(s.buf) > s.peak {
 		s.peak = len(s.buf)
 	}
+}
+
+// Contains implements Set with a linear scan of the raw buffer; duplicates
+// do not change membership, so no dedup pass is forced.
+func (s *SSB) Contains(w heap.Word) bool {
+	for _, e := range s.buf {
+		if e == w {
+			return true
+		}
+	}
+	return false
 }
 
 // ForEach implements Set.

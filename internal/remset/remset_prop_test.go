@@ -1,0 +1,145 @@
+package remset
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"rdgc/internal/heap"
+)
+
+// Property test: both Set representations must agree with a Go map oracle
+// under randomized Remember/Contains/Len/ForEach/Clear sequences, including
+// sequences that force the HashSet through several growths and the SSB
+// through dedup cycles.
+
+func randomPtr(rng *rand.Rand, distinct int) heap.Word {
+	// A small pool forces duplicates; offsets are even so words are distinct
+	// per (space, off) pair and never zero (pointers carry tag 1).
+	n := rng.Intn(distinct)
+	return heap.PtrWord(heap.SpaceID(n%7), (n/7)*2)
+}
+
+func TestSetsAgainstMapOracle(t *testing.T) {
+	impls := []struct {
+		name string
+		mk   func() Set
+	}{
+		{"HashSet", func() Set { return NewHashSet() }},
+		{"SSB", func() Set { return NewSSB() }},
+	}
+	for _, impl := range impls {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", impl.name, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				s := impl.mk()
+				oracle := map[heap.Word]bool{}
+				maxLen := 0
+				for op := 0; op < 3000; op++ {
+					switch rng.Intn(10) {
+					case 0, 1, 2, 3, 4: // insert, duplicates likely
+						w := randomPtr(rng, 400)
+						s.Remember(w)
+						oracle[w] = true
+						if len(oracle) > maxLen {
+							maxLen = len(oracle)
+						}
+					case 5, 6: // membership, both present and absent words
+						w := randomPtr(rng, 800)
+						if got, want := s.Contains(w), oracle[w]; got != want {
+							t.Fatalf("op %d: Contains(%#x) = %v, oracle %v", op, uint64(w), got, want)
+						}
+					case 7: // cardinality
+						if got := s.Len(); got != len(oracle) {
+							t.Fatalf("op %d: Len = %d, oracle %d", op, got, len(oracle))
+						}
+					case 8: // iterate: every oracle member exactly once
+						visited := map[heap.Word]int{}
+						s.ForEach(func(w heap.Word) { visited[w]++ })
+						if len(visited) != len(oracle) {
+							t.Fatalf("op %d: ForEach visited %d words, oracle %d", op, len(visited), len(oracle))
+						}
+						for w, n := range visited {
+							if n != 1 {
+								t.Fatalf("op %d: ForEach visited %#x %d times", op, uint64(w), n)
+							}
+							if !oracle[w] {
+								t.Fatalf("op %d: ForEach visited %#x not in oracle", op, uint64(w))
+							}
+						}
+					case 9:
+						if rng.Intn(8) == 0 { // occasional clear
+							s.Clear()
+							oracle = map[heap.Word]bool{}
+						}
+					}
+				}
+				if s.Len() != len(oracle) {
+					t.Fatalf("final Len = %d, oracle %d", s.Len(), len(oracle))
+				}
+				if peak := s.Peak(); peak < maxLen {
+					t.Errorf("Peak = %d, but %d distinct entries were live at once", peak, maxLen)
+				}
+			})
+		}
+	}
+}
+
+// TestHashSetGrowthKeepsMembers drives the set through several table
+// growths and checks no member is lost or invented.
+func TestHashSetGrowthKeepsMembers(t *testing.T) {
+	s := NewHashSet()
+	const n = 10 * hashSetMinCap
+	for i := 0; i < n; i++ {
+		s.Remember(heap.PtrWord(heap.SpaceID(i%31), (i/31)*2))
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if !s.Contains(heap.PtrWord(heap.SpaceID(i%31), (i/31)*2)) {
+			t.Fatalf("entry %d lost across growth", i)
+		}
+	}
+	if s.Contains(heap.PtrWord(40, 2)) {
+		t.Error("Contains invented a member")
+	}
+}
+
+// TestIteratePathDoesNotAllocate guards the collection-critical iterate
+// path of both representations: once warm, ForEach (and the SSB's dedup
+// inside it) must be allocation-free.
+func TestIteratePathDoesNotAllocate(t *testing.T) {
+	sink := 0
+	t.Run("HashSet", func(t *testing.T) {
+		s := NewHashSet()
+		for i := 0; i < 500; i++ {
+			s.Remember(heap.PtrWord(heap.SpaceID(i%5), (i/5)*2))
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			s.ForEach(func(heap.Word) { sink++ })
+		})
+		if allocs != 0 {
+			t.Errorf("HashSet.ForEach allocates %.0f objects/run, want 0", allocs)
+		}
+	})
+	t.Run("SSB", func(t *testing.T) {
+		s := NewSSB()
+		fill := func() {
+			for i := 0; i < 500; i++ {
+				s.Remember(heap.PtrWord(heap.SpaceID(i%5), ((i/5)%50)*2))
+			}
+		}
+		fill()
+		s.ForEach(func(heap.Word) {}) // warmup: scratch buffers grow once
+		s.Clear()
+		fill()
+		allocs := testing.AllocsPerRun(20, func() {
+			s.ForEach(func(heap.Word) { sink++ })
+		})
+		if allocs != 0 {
+			t.Errorf("SSB.ForEach allocates %.0f objects/run, want 0", allocs)
+		}
+	})
+	_ = sink
+}
