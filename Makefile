@@ -2,12 +2,12 @@
 # conformance pass that backs the parallel experiment runner.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR2.json
+BENCH_OUT ?= BENCH_PR4.json
 BENCH_BASE ?= BENCH_PR2.json
 BENCH_NOW ?= /tmp/rdgc-bench-now.json
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race tier1 ci bench bench-compare fuzz
+.PHONY: all build vet test race tier1 ci bench bench-compare fuzz traces
 
 all: ci
 
@@ -28,9 +28,15 @@ tier1: build test
 ci:
 	./ci.sh
 
+# traces regenerates the checked-in allocation-event trace corpus under
+# internal/trace/testdata/traces; TestTraceCorpus fails if the corpus drifts
+# from what the current tree records.
+traces:
+	RDGC_WRITE_TRACES=1 $(GO) test ./internal/trace -run TestTraceCorpus -v
+
 # bench runs the Go microbenchmarks, then measures the tracing engines and
 # the full collector grid and writes the machine-readable report (the file
-# checked in as BENCH_PR2.json).
+# checked in as BENCH_PR4.json).
 bench:
 	$(GO) test -bench=. -benchmem ./...
 	$(GO) run ./cmd/benchreport -out $(BENCH_OUT)

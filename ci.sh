@@ -29,6 +29,16 @@ check_cover() {
 }
 check_cover ./internal/heap 82
 check_cover ./internal/remset 96
+check_cover ./internal/trace 85
+
+# Trace smoke: record a small benchmark once, then replay the trace under
+# every collector with the deep heap-invariant verifier on. Exercises the
+# full record -> replay -> verify pipeline through the actual CLI.
+trace_tmp=$(mktemp -d)
+trap 'rm -rf "$trace_tmp"' EXIT
+go run ./cmd/gctrace record -quick -o "$trace_tmp/lattice.trace" lattice
+go run ./cmd/gctrace replay -verify "$trace_tmp/lattice.trace"
+go run ./cmd/gctrace stat "$trace_tmp/lattice.trace" > /dev/null
 
 # Fuzz smoke: a bounded mutation run of the cross-collector byte-program
 # harness (the seed corpus replays first). Real campaigns: make fuzz.

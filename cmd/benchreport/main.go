@@ -12,6 +12,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -30,6 +31,7 @@ import (
 	"rdgc/internal/gc/npms"
 	"rdgc/internal/gc/semispace"
 	"rdgc/internal/heap"
+	"rdgc/internal/trace"
 )
 
 // EngineResult is one tracing-engine microbenchmark: a fixed object graph
@@ -53,12 +55,29 @@ type CollectorResult struct {
 	Collections       int     `json:"collections"`
 }
 
+// TraceResult is one trace-subsystem benchmark row: the decay workload with
+// recording off (baseline), with recording on (overhead), and replayed from
+// a recorded trace (read-path throughput).
+type TraceResult struct {
+	Name         string  `json:"name"`
+	WallNS       int64   `json:"wall_ns"`
+	Events       uint64  `json:"events,omitempty"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+	Words        uint64  `json:"words,omitempty"`
+	WordsPerSec  float64 `json:"words_per_sec,omitempty"`
+	TraceBytes   uint64  `json:"trace_bytes,omitempty"`
+	// VsBaseline is this row's wall clock over the record-off baseline's
+	// (1.0 = free; only meaningful for the record-on row).
+	VsBaseline float64 `json:"vs_baseline,omitempty"`
+}
+
 // Report is one full measurement run.
 type Report struct {
 	Schema     string            `json:"schema"`
 	GoVersion  string            `json:"go_version"`
 	Engines    []EngineResult    `json:"engines"`
 	Collectors []CollectorResult `json:"collectors"`
+	Traces     []TraceResult     `json:"traces,omitempty"`
 }
 
 // Comparison is the checked-in before/after shape.
@@ -223,12 +242,131 @@ func collectorGrid() []CollectorResult {
 	return out
 }
 
+// countWriter counts bytes so recording overhead excludes any real sink.
+type countWriter struct{ n uint64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += uint64(len(p))
+	return len(p), nil
+}
+
+// traceBenchmarks measures the trace subsystem on the decay workload, best
+// of three like everything else: record-off baseline, record-on overhead
+// (into a counting discard writer), and replay throughput from memory.
+func traceBenchmarks() []TraceResult {
+	cfg := experiments.DecayConfig{HalfLife: 768, L: 3.5, G: 0.25, K: 16, Steps: workloadSteps}
+	total := cfg.HeapWords()
+
+	runDecay := func(h *heap.Heap) time.Duration {
+		w := decay.NewWorkload(h, 768, 1)
+		start := time.Now()
+		w.Warmup(10)
+		w.Run(workloadSteps)
+		return time.Since(start)
+	}
+
+	var off TraceResult
+	for round := 0; round < 3; round++ {
+		h := heap.New()
+		semispace.New(h, total)
+		wall := runDecay(h)
+		if round == 0 || wall.Nanoseconds() < off.WallNS {
+			off = TraceResult{
+				Name:        "decay-record-off",
+				WallNS:      wall.Nanoseconds(),
+				Words:       h.Stats.WordsAllocated,
+				WordsPerSec: float64(h.Stats.WordsAllocated) / wall.Seconds(),
+			}
+		}
+	}
+
+	var on TraceResult
+	for round := 0; round < 3; round++ {
+		h := heap.New()
+		semispace.New(h, total)
+		var cw countWriter
+		tw, err := trace.NewWriter(&cw, trace.Header{Meta: []trace.MetaEntry{{Key: "workload", Value: "decay-768"}}})
+		if err != nil {
+			panic(err)
+		}
+		rec, err := trace.NewRecorder(h, tw)
+		if err != nil {
+			panic(err)
+		}
+		wall := runDecay(h)
+		if err := rec.Finish(); err != nil {
+			panic(err)
+		}
+		if round == 0 || wall.Nanoseconds() < on.WallNS {
+			on = TraceResult{
+				Name:         "decay-record-on",
+				WallNS:       wall.Nanoseconds(),
+				Events:       tw.Events(),
+				EventsPerSec: float64(tw.Events()) / wall.Seconds(),
+				Words:        h.Stats.WordsAllocated,
+				WordsPerSec:  float64(h.Stats.WordsAllocated) / wall.Seconds(),
+				TraceBytes:   cw.n,
+				VsBaseline:   float64(wall.Nanoseconds()) / float64(off.WallNS),
+			}
+		}
+	}
+
+	// One untimed recording into memory feeds the replay rounds.
+	var buf bytes.Buffer
+	{
+		h := heap.New()
+		semispace.New(h, total)
+		tw, err := trace.NewWriter(&buf, trace.Header{})
+		if err != nil {
+			panic(err)
+		}
+		rec, err := trace.NewRecorder(h, tw)
+		if err != nil {
+			panic(err)
+		}
+		runDecay(h)
+		if err := rec.Finish(); err != nil {
+			panic(err)
+		}
+	}
+	raw := buf.Bytes()
+
+	var rp TraceResult
+	for round := 0; round < 3; round++ {
+		rd, err := trace.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			panic(err)
+		}
+		h := heap.New()
+		c := semispace.New(h, total)
+		start := time.Now()
+		res, err := trace.Replay(rd, h, c, trace.ReplayOptions{})
+		wall := time.Since(start)
+		if err != nil {
+			panic(err)
+		}
+		if round == 0 || wall.Nanoseconds() < rp.WallNS {
+			rp = TraceResult{
+				Name:         "decay-replay-semispace",
+				WallNS:       wall.Nanoseconds(),
+				Events:       res.Events,
+				EventsPerSec: float64(res.Events) / wall.Seconds(),
+				Words:        res.Stats.WordsAllocated,
+				WordsPerSec:  float64(res.Stats.WordsAllocated) / wall.Seconds(),
+				TraceBytes:   uint64(len(raw)),
+			}
+		}
+	}
+	return []TraceResult{off, on, rp}
+}
+
 func run() *Report {
 	return &Report{
-		Schema:     "rdgc-bench/1",
+		Schema:     "rdgc-bench/2",
 		GoVersion:  runtime.Version(),
 		Engines:    engineBenchmarks(),
 		Collectors: collectorGrid(),
+		Traces:     traceBenchmarks(),
 	}
 }
 
@@ -268,6 +406,13 @@ func speedups(before, after *Report) map[string]float64 {
 		for _, a := range after.Collectors {
 			if a.Collector == b.Collector && a.NsPerTracedWord > 0 && b.NsPerTracedWord > 0 {
 				out["collector/"+a.Collector] = b.NsPerTracedWord / a.NsPerTracedWord
+			}
+		}
+	}
+	for _, b := range before.Traces {
+		for _, a := range after.Traces {
+			if a.Name == b.Name && a.WallNS > 0 && b.WallNS > 0 {
+				out["trace/"+a.Name] = float64(b.WallNS) / float64(a.WallNS)
 			}
 		}
 	}

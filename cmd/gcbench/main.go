@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 
 	"rdgc/internal/bench"
 	"rdgc/internal/experiments"
+	"rdgc/internal/gc/gcfuzz"
 	"rdgc/internal/gc/hybrid"
 	"rdgc/internal/heap"
 	"rdgc/internal/runner"
@@ -44,6 +46,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
 	progress := flag.Bool("progress", false, "report per-cell completion and wall-clock to stderr")
 	jsonOut := flag.Bool("json", false, "emit per-cell measurements as JSON instead of the table")
+	record := flag.String("record", "", "also record each benchmark as an allocation-event trace into `dir` (see cmd/gctrace)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile to `file` before exiting")
 	flag.Parse()
@@ -61,7 +64,7 @@ func main() {
 	}
 	// run holds the early-returning body so the profile teardown below
 	// covers every exit path.
-	run(*table2, *quick, *withHybrid, *parallel, *progress, *jsonOut)
+	run(*table2, *quick, *withHybrid, *parallel, *progress, *jsonOut, *record)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -80,7 +83,7 @@ func main() {
 	}
 }
 
-func run(table2Only, quick, withHybrid bool, parallel int, progress, jsonOut bool) {
+func run(table2Only, quick, withHybrid bool, parallel int, progress, jsonOut bool, recordDir string) {
 	if table2Only {
 		fmt.Println("Table 2: benchmark inventory (Go reimplementation)")
 		for _, i := range bench.Table2() {
@@ -95,6 +98,13 @@ func run(table2Only, quick, withHybrid bool, parallel int, progress, jsonOut boo
 	}
 	cfg := experiments.DefaultTable3Config()
 
+	if recordDir != "" {
+		if err := os.MkdirAll(recordDir, 0o777); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(1)
+		}
+	}
+
 	specs := make([]runner.Spec[rowResult], len(progs))
 	for i, p := range progs {
 		p := p
@@ -108,6 +118,13 @@ func run(table2Only, quick, withHybrid bool, parallel int, progress, jsonOut boo
 				rr := rowResult{row: row}
 				if withHybrid {
 					rr.hres, rr.remA, rr.remB = runHybrid(p, row)
+				}
+				if recordDir != "" {
+					path := filepath.Join(recordDir, p.Name()+".trace")
+					nc := gcfuzz.CollectorsSized(p.HeapWords())[0]
+					if _, err := experiments.RecordBenchTrace(path, p, nc, false); err != nil {
+						return rr, err
+					}
 				}
 				return rr, nil
 			},

@@ -4,35 +4,44 @@
 // bytes, and it reruns the program against every collector, printing each
 // collector's mutator statistics and the first property violation.
 //
-//	gcfuzz [-census=auto|on|off] [-collector NAME] [-minimize] FILE...
+//	gcfuzz [-census=auto|on|off] [-collector NAME] [-minimize] [-emit-trace FILE] FILE...
 //
 // With -minimize, a failing program is shrunk to a minimal reproducer
 // (printed as a go-fuzz corpus file, ready to check in as a regression
-// seed).
+// seed). With -emit-trace, the byte program is additionally exported as an
+// allocation-event trace (see cmd/gctrace), so a fuzzer-found workload can
+// be replayed, profiled, and checked in like any recorded benchmark.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"rdgc/internal/gc/gcfuzz"
 	"rdgc/internal/heap"
+	"rdgc/internal/trace"
 )
 
 func main() {
 	censusMode := flag.String("census", "auto", "census tracking: auto (derived from the program), on, or off")
 	collector := flag.String("collector", "", "run only the named collector (default: all, with cross-collector stats check)")
 	minimize := flag.Bool("minimize", false, "shrink a failing program to a minimal reproducer")
+	emitTrace := flag.String("emit-trace", "", "export the (single) program as an allocation-event trace to `file`")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *emitTrace != "" && flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "gcfuzz: -emit-trace takes exactly one program file")
+		os.Exit(2)
+	}
 
 	exit := 0
 	for _, path := range flag.Args() {
-		if err := replay(path, *censusMode, *collector, *minimize); err != nil {
+		if err := replay(path, *censusMode, *collector, *minimize, *emitTrace); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			exit = 1
 		}
@@ -40,7 +49,54 @@ func main() {
 	os.Exit(exit)
 }
 
-func replay(path, censusMode, collector string, minimize bool) error {
+// emit records the byte program as an allocation-event trace. The recording
+// collector is immaterial to the trace bytes; the fixed-size fuzz grid's
+// first collector drives the run. The trace carries no heap_words metadata,
+// which tells gctrace replay to use the same fuzz-sized grid.
+func emit(path string, prog []byte, census bool) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	meta := []trace.MetaEntry{
+		{Key: "workload", Value: "gcfuzz:" + filepath.Base(path)},
+		{Key: "sizing", Value: "gcfuzz"},
+	}
+	var rec *trace.Recorder
+	var wrapErr error
+	_, runErr := gcfuzz.RunWith(prog, gcfuzz.Collectors()[0].New, census,
+		func(h *heap.Heap, c heap.Collector) heap.Collector {
+			w, err := trace.NewWriter(f, trace.Header{Census: census, Meta: meta})
+			if err != nil {
+				wrapErr = err
+				return c
+			}
+			rec, err = trace.NewRecorder(h, w)
+			if err != nil {
+				wrapErr = err
+				return c
+			}
+			return rec.Collector(c)
+		})
+	err = wrapErr
+	if rec != nil && err == nil {
+		err = rec.Finish()
+	}
+	if err == nil {
+		err = runErr
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(path)
+		return fmt.Errorf("emit-trace: %w", err)
+	}
+	fmt.Printf("  trace written to %s\n", path)
+	return nil
+}
+
+func replay(path, censusMode, collector string, minimize bool, emitTrace string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -60,6 +116,12 @@ func replay(path, censusMode, collector string, minimize bool) error {
 		return fmt.Errorf("bad -census value %q", censusMode)
 	}
 	fmt.Printf("%s: %d program bytes, census=%v\n", path, len(prog), census)
+
+	if emitTrace != "" {
+		if err := emit(emitTrace, prog, census); err != nil {
+			return err
+		}
+	}
 
 	run := func(p []byte) error {
 		if collector != "" {

@@ -1,0 +1,324 @@
+// Command gctrace records benchmark workloads as allocation-event traces
+// and replays them under any collector in the repository. A trace captures
+// the mutator side of a run — every allocation, store, and root operation —
+// so one recording can evaluate every collection policy on the identical
+// event stream, the way the paper's trace-driven comparisons do.
+//
+//	gctrace record [-quick] [-census] [-collector NAME] [-o FILE] WORKLOAD
+//	gctrace replay [-collector NAME|all] [-verify] [-parallel N] [-progress] FILE
+//	gctrace stat FILE...
+//	gctrace cat [-n N] FILE
+//
+// record runs a benchmark from the registry (gcbench's table rows; -quick
+// selects the reduced-scale instances) under the named collector and writes
+// the trace. Which collector records is immaterial — trace bytes are
+// collector-independent — so the flag exists only to vary the recording
+// run's collection schedule intent.
+//
+// replay drives the named collector (default: all seven, as parallel cells)
+// from the trace and reports each collector's mutator statistics and gc
+// work. -verify additionally runs the deep heap-invariant verifier after
+// every collection. Replay fails loudly if the end state does not match the
+// trace's recorded statistics.
+//
+// stat aggregates a trace without replaying it: event and allocation
+// profiles, plus an upper-bound lifetime histogram in allocated words.
+// cat prints events one per line for debugging.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"rdgc/internal/bench"
+	"rdgc/internal/experiments"
+	"rdgc/internal/gc/gcfuzz"
+	"rdgc/internal/heap"
+	"rdgc/internal/runner"
+	"rdgc/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch cmd := os.Args[1]; cmd {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "stat":
+		err = cmdStat(os.Args[2:])
+	case "cat":
+		err = cmdCat(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		fmt.Fprintf(os.Stderr, "gctrace: unknown subcommand %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gctrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  gctrace record [-quick] [-census] [-collector NAME] [-o FILE] WORKLOAD
+  gctrace replay [-collector NAME|all] [-verify] [-parallel N] [-progress] FILE
+  gctrace stat FILE...
+  gctrace cat [-n N] FILE
+
+Workloads are the gcbench registry names (run "gcbench -table2" for the
+inventory); -quick selects the reduced-scale instances. Collector names:
+semispace, marksweep, generational, nonpredictive, hybrid, multigen, npms.
+`)
+}
+
+// findProgram resolves a workload name in the chosen registry.
+func findProgram(name string, quick bool) (bench.Program, error) {
+	progs := bench.Standard()
+	if quick {
+		progs = bench.Quick()
+	}
+	var names []string
+	for _, p := range progs {
+		if p.Name() == name {
+			return p, nil
+		}
+		names = append(names, p.Name())
+	}
+	return nil, fmt.Errorf("unknown workload %q; have %v", name, names)
+}
+
+// findCollector resolves a collector name in a sized grid.
+func findCollector(grid []gcfuzz.NamedCollector, name string) (gcfuzz.NamedCollector, error) {
+	var names []string
+	for _, nc := range grid {
+		if nc.Name == name {
+			return nc, nil
+		}
+		names = append(names, nc.Name)
+	}
+	return gcfuzz.NamedCollector{}, fmt.Errorf("unknown collector %q; have %v", name, names)
+}
+
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("gctrace record", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "use the reduced-scale benchmark instances")
+	census := fs.Bool("census", false, "record with per-object birth stamps (replay heaps must match)")
+	collector := fs.String("collector", "semispace", "collector driving the recording run")
+	out := fs.String("o", "", "output file (default WORKLOAD.trace)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("record needs exactly one workload name")
+	}
+	p, err := findProgram(fs.Arg(0), *quick)
+	if err != nil {
+		return err
+	}
+	nc, err := findCollector(gcfuzz.CollectorsSized(p.HeapWords()), *collector)
+	if err != nil {
+		return err
+	}
+	path := *out
+	if path == "" {
+		path = p.Name() + ".trace"
+	}
+	stats, err := experiments.RecordBenchTrace(path, p, nc, *census)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: recorded %s under %s: %d words, %d objects\n",
+		path, p.Name(), nc.Name, stats.WordsAllocated, stats.ObjectsAllocated)
+	return nil
+}
+
+// replayGrid reconstructs the collector grid a trace should replay under,
+// from the header metadata record/gcfuzz wrote. Traces without sizing
+// metadata get the fuzz harness's fixed-size grid.
+func replayGrid(hdr trace.Header) []gcfuzz.NamedCollector {
+	if s, ok := hdr.Lookup("heap_words"); ok {
+		if n, err := strconv.Atoi(s); err == nil {
+			return gcfuzz.CollectorsSized(n)
+		}
+	}
+	return gcfuzz.Collectors()
+}
+
+// replayCell is one (trace, collector) replay outcome.
+type replayCell struct {
+	res trace.ReplayResult
+	gc  heap.GCStats
+}
+
+// replayOne opens the trace fresh and drives one collector from it.
+func replayOne(path string, nc gcfuzz.NamedCollector, verify bool) (replayCell, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return replayCell{}, err
+	}
+	defer f.Close()
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		return replayCell{}, err
+	}
+	var opts []heap.Option
+	if rd.Header().Census {
+		opts = append(opts, heap.WithCensus())
+	}
+	h := heap.New(opts...)
+	c := nc.New(h)
+	res, err := trace.Replay(rd, h, c, trace.ReplayOptions{Verify: verify})
+	return replayCell{res: res, gc: *c.GCStats()}, err
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("gctrace replay", flag.ExitOnError)
+	collector := fs.String("collector", "all", "replay under one named collector, or all seven")
+	verify := fs.Bool("verify", false, "run the deep heap-invariant verifier after every collection")
+	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
+	progress := fs.Bool("progress", false, "report per-cell completion and wall-clock to stderr")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("replay needs exactly one trace file")
+	}
+	path := fs.Arg(0)
+
+	// Sniff the header once to size the collector grid and describe the run.
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	hdr := rd.Header()
+	f.Close()
+
+	grid := replayGrid(hdr)
+	if *collector != "all" {
+		nc, err := findCollector(grid, *collector)
+		if err != nil {
+			return err
+		}
+		grid = []gcfuzz.NamedCollector{nc}
+	}
+
+	workload, _ := hdr.Lookup("workload")
+	fmt.Printf("%s: workload %q, census=%v, %d collectors\n", path, workload, hdr.Census, len(grid))
+
+	specs := make([]runner.Spec[replayCell], len(grid))
+	for i, nc := range grid {
+		nc := nc
+		specs[i] = runner.Spec[replayCell]{
+			Name: nc.Name,
+			Run:  func() (replayCell, error) { return replayOne(path, nc, *verify) },
+			Words: func(v replayCell) uint64 {
+				return v.res.Stats.WordsAllocated + v.gc.WordsCopied + v.gc.WordsMarked
+			},
+		}
+	}
+	var pw io.Writer
+	if *progress {
+		pw = os.Stderr
+	}
+	results := runner.Run(specs, runner.Options{Workers: *parallel, Progress: pw})
+
+	exit := error(nil)
+	for _, r := range results {
+		if r.Err != nil {
+			fmt.Printf("  %-14s FAIL: %v\n", r.Name, r.Err)
+			if exit == nil {
+				exit = fmt.Errorf("replay under %s failed", r.Name)
+			}
+			continue
+		}
+		v := r.Value
+		fmt.Printf("  %-14s ok  %9d events  %10d words  %4d collections  gc work %10d  peak live %8d\n",
+			r.Name, v.res.Events, v.res.Stats.WordsAllocated,
+			v.gc.Collections, v.gc.WordsCopied+v.gc.WordsMarked, v.gc.PeakLive)
+	}
+	return exit
+}
+
+func cmdStat(args []string) error {
+	fs := flag.NewFlagSet("gctrace stat", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("stat needs at least one trace file")
+	}
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		rd, err := trace.NewReader(f)
+		if err == nil {
+			var s *trace.Summary
+			if s, err = trace.Stat(rd); err == nil {
+				fmt.Printf("%s:\n%s", path, s.Format())
+			}
+		}
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+func cmdCat(args []string) error {
+	fs := flag.NewFlagSet("gctrace cat", flag.ExitOnError)
+	limit := fs.Int("n", 0, "print at most N events (0 = all)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("cat needs exactly one trace file")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		return err
+	}
+	hdr := rd.Header()
+	fmt.Printf("census: %v\n", hdr.Census)
+	for _, m := range hdr.Meta {
+		fmt.Printf("meta:   %s = %s\n", m.Key, m.Value)
+	}
+	var ev trace.Event
+	for i := 0; ; i++ {
+		if *limit > 0 && i >= *limit {
+			fmt.Println("...")
+			if _, err := rd.Drain(); err != nil {
+				return err
+			}
+			break
+		}
+		err := rd.Next(&ev)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%8d  %s\n", i, ev.String())
+	}
+	tr := rd.Trailer()
+	fmt.Printf("trailer: %d events, %d words, %d objects\n",
+		tr.Events, tr.WordsAllocated, tr.ObjectsAllocated)
+	return nil
+}

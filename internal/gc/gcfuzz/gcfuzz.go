@@ -128,6 +128,41 @@ func Collectors() []NamedCollector {
 	}
 }
 
+// CollectorsSized returns the same seven collectors scaled to a workload
+// whose comfortable heap size is total words — the grid cmd/gctrace uses
+// to replay recorded benchmark traces. Growth/expansion is enabled
+// everywhere it exists, so the sizes are starting points, not ceilings.
+func CollectorsSized(total int) []NamedCollector {
+	if total < 4096 {
+		total = 4096
+	}
+	nursery := total / 8
+	return []NamedCollector{
+		{"semispace", func(h *heap.Heap) heap.Collector {
+			return semispace.New(h, total, semispace.WithExpansion(2))
+		}},
+		{"marksweep", func(h *heap.Heap) heap.Collector {
+			return marksweep.New(h, total, marksweep.WithExpansion(2))
+		}},
+		{"generational", func(h *heap.Heap) heap.Collector {
+			return generational.New(h, nursery, 2*total, generational.WithExpansion(2))
+		}},
+		{"nonpredictive", func(h *heap.Heap) heap.Collector {
+			return core.New(h, 8, nursery, core.WithGrowth())
+		}},
+		{"hybrid", func(h *heap.Heap) heap.Collector {
+			return hybrid.New(h, nursery/2, 8, nursery, hybrid.WithGrowth())
+		}},
+		{"multigen", func(h *heap.Heap) heap.Collector {
+			return multigen.New(h, []int{nursery, 2 * nursery, 2 * total}, multigen.WithExpansion(2))
+		}},
+		{"npms", func(h *heap.Heap) heap.Collector {
+			// npms has no growth option; size its k steps generously.
+			return npms.New(h, 8, total)
+		}},
+	}
+}
+
 // fullCollector is the optional whole-heap collection the non-predictive
 // collectors expose.
 type fullCollector interface{ FullCollect() }
@@ -137,6 +172,16 @@ type fullCollector interface{ FullCollect() }
 // census turns on per-object birth stamps, doubling as a check that the
 // hidden census word never confuses a collector.
 func Run(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (heap.Stats, error) {
+	return RunWith(prog, mk, census, nil)
+}
+
+// RunWith is Run with an instrumentation hook: when wrap is non-nil, the
+// freshly constructed collector is passed through it and the returned
+// wrapper receives the program's collect operations (allocations still
+// flow through the heap's installed allocator). The trace recorder hooks
+// in here — cmd/gcfuzz -emit-trace exports a byte program as a trace —
+// without this package importing the trace codec.
+func RunWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wrap func(h *heap.Heap, c heap.Collector) heap.Collector) (heap.Stats, error) {
 	if len(prog) > MaxProgram {
 		prog = prog[:MaxProgram]
 	}
@@ -146,6 +191,10 @@ func Run(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (heap.S
 	}
 	h := heap.New(opts...)
 	c := mk(h)
+	drive := c
+	if wrap != nil {
+		drive = wrap(h, c)
+	}
 
 	// The after-GC hook sees every collection, including those triggered by
 	// allocation inside a mutator op; only the first violation is kept.
@@ -161,7 +210,7 @@ func Run(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (heap.S
 	for step := 0; !src.done() && gcErr == nil; step++ {
 		switch k := src.Intn(numProgOps); k {
 		case opCollect:
-			c.Collect()
+			drive.Collect()
 		case opVerify:
 			// Mid-mutation verification is the only point where rules about
 			// pointers into a nursery can bite: nurseries are empty at every
@@ -173,10 +222,10 @@ func Run(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (heap.S
 				return h.Stats, fmt.Errorf("step %d: %w", step, err)
 			}
 		case opFullCollect:
-			if fc, ok := c.(fullCollector); ok {
+			if fc, ok := drive.(fullCollector); ok {
 				fc.FullCollect()
 			} else {
-				c.Collect()
+				drive.Collect()
 			}
 		case opNop:
 		default:
@@ -187,7 +236,7 @@ func Run(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (heap.S
 		}
 	}
 
-	c.Collect()
+	drive.Collect()
 	if gcErr != nil {
 		return h.Stats, gcErr
 	}

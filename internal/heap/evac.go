@@ -51,6 +51,10 @@ type Evacuator struct {
 	// census word without a per-object heap dereference.
 	extra int
 
+	// moved caches the heap's move hook for the duration of a run, so the
+	// uninstrumented forward path pays one nil check per copied object.
+	moved func(old, new Word)
+
 	// scanBase[i] is the offset in Targets[i] where this run's copies began.
 	scanBase []int
 	// scan[i] is the per-target scan cursor for the gray region.
@@ -106,6 +110,7 @@ func (e *Evacuator) Begin(targets ...*Space) {
 	}
 	e.spaces = e.H.Spaces
 	e.extra = e.H.extraWords
+	e.moved = e.H.moved
 	e.WordsCopied = 0
 	e.ObjectsCopied = 0
 }
@@ -157,6 +162,9 @@ func (e *Evacuator) forward(w Word) Word {
 	s.Mem[off] = fwd
 	e.WordsCopied += uint64(n)
 	e.ObjectsCopied++
+	if e.moved != nil {
+		e.moved(w, fwd)
+	}
 	return fwd
 }
 

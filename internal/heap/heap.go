@@ -123,6 +123,12 @@ type Heap struct {
 	// the end of every collection routine, once the heap, remembered sets,
 	// and renaming are back in their between-collections state.
 	afterGC func()
+
+	// sink, when non-nil, observes every mutator-level heap event (the
+	// trace recorder's hook; see events.go). moved, when non-nil, observes
+	// every object relocation performed by the shared Evacuator.
+	sink  EventSink
+	moved func(old, new Word)
 }
 
 // Option configures a Heap at creation.
@@ -226,23 +232,33 @@ func (h *Heap) Get(r Ref) Word { return *h.slot(r) }
 
 // Set overwrites the word held by r. It does not invoke the write barrier:
 // Refs are roots, and root mutation needs no barrier.
-func (h *Heap) Set(r Ref, w Word) { *h.slot(r) = w }
+func (h *Heap) Set(r Ref, w Word) {
+	*h.slot(r) = w
+	if h.sink != nil {
+		h.sink.EvRootSet(r, w)
+	}
+}
 
 // push adds w to the current handle scope and returns its Ref.
 func (h *Heap) push(w Word) Ref {
 	h.refs = append(h.refs, w)
+	if h.sink != nil {
+		h.sink.EvRootPush(w)
+	}
 	return Ref(len(h.refs) - 1)
 }
 
 // Global copies the value of r into a permanent root and returns its Ref.
 func (h *Heap) Global(r Ref) Ref {
-	h.globals = append(h.globals, h.Get(r))
-	return Ref(-len(h.globals) - 1)
+	return h.GlobalWord(h.Get(r))
 }
 
 // GlobalWord installs w directly as a permanent root.
 func (h *Heap) GlobalWord(w Word) Ref {
 	h.globals = append(h.globals, w)
+	if h.sink != nil {
+		h.sink.EvGlobal(w)
+	}
 	return Ref(-len(h.globals) - 1)
 }
 
@@ -266,6 +282,9 @@ func (s Scope) pop() {
 	}
 	h.scopes = h.scopes[:len(h.scopes)-1]
 	h.refs = h.refs[:s.base]
+	if h.sink != nil {
+		h.sink.EvRootPopTo(s.base)
+	}
 }
 
 // Close releases every Ref created inside the scope.
@@ -319,11 +338,15 @@ func (h *Heap) InitObject(s *Space, off int, t Type, payload int) Word {
 	clear(s.Mem[off+1+h.extraWords : off+1+size])
 	h.Stats.WordsAllocated += uint64(1 + size)
 	h.Stats.ObjectsAllocated++
+	w := PtrWord(s.ID, off)
+	if h.sink != nil {
+		h.sink.EvAlloc(w, t, payload)
+	}
 	if h.hook != nil && h.Stats.WordsAllocated >= h.hookNext {
 		h.hookNext = ^uint64(0) // the hook reschedules itself
 		h.hook()
 	}
-	return PtrWord(s.ID, off)
+	return w
 }
 
 // SetAllocHook installs f to run when the allocation clock next reaches at.

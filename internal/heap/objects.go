@@ -29,6 +29,10 @@ func (h *Heap) Cons(car, cdr Ref) Ref {
 	p[1] = h.Get(cdr)
 	h.barrier.RecordWrite(w, p[0])
 	h.barrier.RecordWrite(w, p[1])
+	if h.sink != nil {
+		h.sink.EvStore(w, 0, p[0])
+		h.sink.EvStore(w, 1, p[1])
+	}
 	return h.push(w)
 }
 
@@ -53,22 +57,13 @@ func (h *Heap) SetCdr(r, v Ref) { h.setField(r, TPair, 1, v) }
 func (h *Heap) setField(r Ref, t Type, i int, v Ref) {
 	w := h.Get(r)
 	h.checkType(w, t)
-	val := h.Get(v)
-	h.Payload(w)[i] = val
-	h.barrier.RecordWrite(w, val)
+	h.StoreField(w, i, h.Get(v))
 }
 
 // MakeVector allocates a vector of n slots, each initialized to fill.
 func (h *Heap) MakeVector(n int, fill Ref) Ref {
 	w := h.allocObject(TVector, n)
-	p := h.Payload(w)
-	f := h.Get(fill)
-	for i := range p {
-		p[i] = f
-	}
-	if n > 0 {
-		h.barrier.RecordWrite(w, f)
-	}
+	h.FillFields(w, h.Get(fill))
 	return h.push(w)
 }
 
@@ -92,8 +87,7 @@ func (h *Heap) VectorSet(r Ref, i int, v Ref) { h.setField(r, TVector, i, v) }
 // Box allocates a one-slot mutable cell.
 func (h *Heap) Box(v Ref) Ref {
 	w := h.allocObject(TBox, 1)
-	h.Payload(w)[0] = h.Get(v)
-	h.barrier.RecordWrite(w, h.Payload(w)[0])
+	h.StoreField(w, 0, h.Get(v))
 	return h.push(w)
 }
 
@@ -112,7 +106,7 @@ func (h *Heap) SetBox(r, v Ref) { h.setField(r, TBox, 0, v) }
 // of these: a header plus one raw data word (plus the census word).
 func (h *Heap) Flonum(x float64) Ref {
 	w := h.allocObject(TFlonum, 1)
-	h.Payload(w)[0] = Word(math.Float64bits(x))
+	h.StoreRaw(w, 0, math.Float64bits(x))
 	return h.push(w)
 }
 
@@ -139,14 +133,8 @@ func (h *Heap) Intern(name string) Ref {
 	if gi, ok := h.symtab[name]; ok {
 		return Ref(-gi - 2)
 	}
-	id := len(h.symNames)
-	h.symNames = append(h.symNames, name)
 	w := h.allocObject(TSymbol, 1)
-	h.Payload(w)[0] = FixnumWord(int64(id))
-	h.globals = append(h.globals, w)
-	gi := len(h.globals) - 1
-	h.symtab[name] = gi
-	return Ref(-gi - 2)
+	return h.AdoptSymbol(w, name)
 }
 
 // SymbolName returns the print name of symbol r.

@@ -1,0 +1,370 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"rdgc/internal/heap"
+)
+
+// Reader streams events back out of a trace. It holds at most one block
+// in memory and reuses that buffer, so the steady-state read path does not
+// allocate (KindIntern's symbol name is the one exception). Errors are
+// sticky and wrap the package sentinels.
+type Reader struct {
+	br     *bufio.Reader
+	hdr    Header
+	blk    []byte // current block payload (buffer reused across blocks)
+	pos    int    // decode cursor within blk
+	nextID uint64 // mirrors the writer's allocation counter
+	events uint64
+	tr     Trailer
+	done   bool
+	err    error
+}
+
+// NewReader checks the preamble and decodes the header block. The reader
+// buffers r itself; it does not close it.
+func NewReader(r io.Reader) (*Reader, error) {
+	tr := &Reader{br: bufio.NewReaderSize(r, 64<<10)}
+	var m [8]byte
+	if _, err := io.ReadFull(tr.br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrTruncated, err)
+	}
+	if m != magic {
+		return nil, ErrBadMagic
+	}
+	version, err := binary.ReadUvarint(tr.br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading version: %v", ErrTruncated, err)
+	}
+	if version != FormatVersion {
+		return nil, fmt.Errorf("%w: got version %d, support %d", ErrVersion, version, FormatVersion)
+	}
+	if err := tr.readBlock(); err != nil {
+		return nil, err
+	}
+	if tr.done {
+		return nil, fmt.Errorf("%w: missing header block", ErrCorrupt)
+	}
+	if err := tr.decodeHeader(); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// Header returns the trace's decoded header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Events returns the number of events decoded so far.
+func (r *Reader) Events() uint64 { return r.events }
+
+// Trailer returns the recorded end-state statistics. It is valid only
+// after Next has returned io.EOF.
+func (r *Reader) Trailer() Trailer { return r.tr }
+
+// fail records and returns the reader's sticky error.
+func (r *Reader) fail(sentinel error, format string, args ...any) error {
+	r.err = fmt.Errorf("%w: %s", sentinel, fmt.Sprintf(format, args...))
+	return r.err
+}
+
+// readBlock loads the next framed block into r.blk, or decodes the
+// trailer (setting done) when it hits the terminator.
+func (r *Reader) readBlock() error {
+	n, err := binary.ReadUvarint(r.br)
+	if err != nil {
+		return r.fail(ErrTruncated, "reading block length: %v", err)
+	}
+	if n == 0 {
+		return r.readTrailer()
+	}
+	if n > maxBlock {
+		return r.fail(ErrCorrupt, "block length %d exceeds limit", n)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r.br, crcBuf[:]); err != nil {
+		return r.fail(ErrTruncated, "reading block checksum: %v", err)
+	}
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if cap(r.blk) < int(n) {
+		r.blk = make([]byte, n)
+	}
+	r.blk = r.blk[:n]
+	if _, err := io.ReadFull(r.br, r.blk); err != nil {
+		return r.fail(ErrTruncated, "reading %d-byte block: %v", n, err)
+	}
+	if got := crc32.ChecksumIEEE(r.blk); got != want {
+		return r.fail(ErrCorrupt, "block checksum mismatch: %#x != %#x", got, want)
+	}
+	r.pos = 0
+	return nil
+}
+
+// readTrailer decodes and checks the trailer that follows the terminator.
+func (r *Reader) readTrailer() error {
+	var body [3 * binary.MaxVarintLen64]byte
+	n := 0
+	read := func() uint64 {
+		v, err := binary.ReadUvarint(r.br)
+		if err != nil {
+			r.err = err
+			return 0
+		}
+		// Re-encode to checksum the exact canonical bytes; a non-minimal
+		// varint re-encodes differently and fails the CRC below.
+		n += binary.PutUvarint(body[n:], v)
+		return v
+	}
+	r.tr.WordsAllocated = read()
+	r.tr.ObjectsAllocated = read()
+	r.tr.Events = read()
+	if r.err != nil {
+		err := r.err
+		r.err = nil
+		return r.fail(ErrTruncated, "reading trailer: %v", err)
+	}
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r.br, crcBuf[:]); err != nil {
+		return r.fail(ErrTruncated, "reading trailer checksum: %v", err)
+	}
+	if got := crc32.ChecksumIEEE(body[:n]); got != binary.LittleEndian.Uint32(crcBuf[:]) {
+		return r.fail(ErrCorrupt, "trailer checksum mismatch")
+	}
+	if r.tr.Events != r.events {
+		return r.fail(ErrCorrupt, "trailer says %d events, stream had %d", r.tr.Events, r.events)
+	}
+	r.done = true
+	return nil
+}
+
+func (r *Reader) decodeHeader() error {
+	flags, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	r.hdr.Census = flags&1 != 0
+	count, err := r.uvarint()
+	if err != nil {
+		return err
+	}
+	if count > maxBlock {
+		return r.fail(ErrCorrupt, "absurd metadata count %d", count)
+	}
+	for i := uint64(0); i < count; i++ {
+		k, err := r.string()
+		if err != nil {
+			return err
+		}
+		v, err := r.string()
+		if err != nil {
+			return err
+		}
+		r.hdr.Meta = append(r.hdr.Meta, MetaEntry{Key: k, Value: v})
+	}
+	if r.pos != len(r.blk) {
+		return r.fail(ErrCorrupt, "%d trailing bytes in header block", len(r.blk)-r.pos)
+	}
+	// The header block is consumed; arm Next to load the first event block.
+	r.blk = r.blk[:0]
+	r.pos = 0
+	return nil
+}
+
+// uvarint decodes one varint from the current block.
+func (r *Reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.blk[r.pos:])
+	if n <= 0 {
+		return 0, r.fail(ErrCorrupt, "bad varint at block offset %d", r.pos)
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *Reader) string() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > uint64(len(r.blk)-r.pos) {
+		return "", r.fail(ErrCorrupt, "string length %d overruns block", n)
+	}
+	s := string(r.blk[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+// byte reads one raw byte from the current block.
+func (r *Reader) byte() (byte, error) {
+	if r.pos >= len(r.blk) {
+		return 0, r.fail(ErrCorrupt, "event overruns block")
+	}
+	b := r.blk[r.pos]
+	r.pos++
+	return b, nil
+}
+
+// obj decodes a delta-compressed target object ID.
+func (r *Reader) obj() (uint64, error) {
+	delta, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if r.nextID == 0 || delta >= r.nextID {
+		return 0, r.fail(ErrCorrupt, "object delta %d references before the first allocation", delta)
+	}
+	return r.nextID - 1 - delta, nil
+}
+
+func (r *Reader) value() (Value, error) {
+	kind, err := r.byte()
+	if err != nil {
+		return Value{}, err
+	}
+	switch kind {
+	case 0:
+		u, err := r.uvarint()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{Bits: uint64(zdec(u))}, nil
+	case 1:
+		id, err := r.obj()
+		if err != nil {
+			return Value{}, err
+		}
+		return Value{IsObj: true, Bits: id}, nil
+	}
+	return Value{}, r.fail(ErrCorrupt, "bad value discriminator %d", kind)
+}
+
+// Next decodes the next event into *ev. It returns io.EOF — and only then
+// — after the whole trace, trailer included, has been read and verified.
+func (r *Reader) Next(ev *Event) error {
+	if r.err != nil {
+		return r.err
+	}
+	for r.pos == len(r.blk) {
+		if r.done {
+			return io.EOF
+		}
+		if err := r.readBlock(); err != nil {
+			return err
+		}
+	}
+	op, err := r.byte()
+	if err != nil {
+		return err
+	}
+	*ev = Event{Kind: Kind(op)}
+	switch ev.Kind {
+	case KindAlloc:
+		t, err := r.byte()
+		if err != nil {
+			return err
+		}
+		size, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if size > maxBlock {
+			return r.fail(ErrCorrupt, "absurd allocation size %d", size)
+		}
+		if heap.Type(t) >= heap.TFree {
+			// TFree marks dead blocks; no mutator allocates one.
+			return r.fail(ErrCorrupt, "bad allocation type %d", t)
+		}
+		ev.Type = heap.Type(t)
+		ev.Size = int(size)
+		ev.Obj = r.nextID
+		r.nextID++
+	case KindStore:
+		if ev.Obj, err = r.obj(); err != nil {
+			return err
+		}
+		slot, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		ev.Slot = int(slot)
+		if ev.Val, err = r.value(); err != nil {
+			return err
+		}
+	case KindFill:
+		if ev.Obj, err = r.obj(); err != nil {
+			return err
+		}
+		if ev.Val, err = r.value(); err != nil {
+			return err
+		}
+	case KindRaw:
+		if ev.Obj, err = r.obj(); err != nil {
+			return err
+		}
+		slot, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		ev.Slot = int(slot)
+		if r.pos+8 > len(r.blk) {
+			return r.fail(ErrCorrupt, "raw bits overrun block")
+		}
+		ev.Val.Bits = binary.LittleEndian.Uint64(r.blk[r.pos:])
+		r.pos += 8
+	case KindIntern:
+		if ev.Obj, err = r.obj(); err != nil {
+			return err
+		}
+		if ev.Name, err = r.string(); err != nil {
+			return err
+		}
+	case KindPush, KindGlobal:
+		if ev.Val, err = r.value(); err != nil {
+			return err
+		}
+	case KindPopTo:
+		depth, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		ev.Size = int(depth)
+	case KindSet:
+		u, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		ev.Ref = int32(zdec(u))
+		if ev.Val, err = r.value(); err != nil {
+			return err
+		}
+	case KindCollect:
+		full, err := r.byte()
+		if err != nil {
+			return err
+		}
+		ev.Full = full != 0
+	default:
+		return r.fail(ErrCorrupt, "unknown event opcode %d", op)
+	}
+	r.events++
+	return nil
+}
+
+// Drain reads and discards all remaining events, returning the trailer.
+// cmd/gctrace stat and tests use it to validate a whole trace cheaply.
+func (r *Reader) Drain() (Trailer, error) {
+	var ev Event
+	for {
+		switch err := r.Next(&ev); {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			return r.tr, nil
+		default:
+			return Trailer{}, err
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"rdgc/internal/heap"
+)
+
+// Record runs a workload with recording attached, end to end: it builds a
+// fresh heap (census per the flag), installs mk's collector, records every
+// event into out, and hands run the wrapped collector to drive. The
+// workload's own error is returned after the trace is finalized, so a
+// failing workload still leaves a complete, replayable trace.
+func Record(out io.Writer, census bool, meta []MetaEntry, mk func(*heap.Heap) heap.Collector, run func(h *heap.Heap, c heap.Collector) error) (heap.Stats, error) {
+	var opts []heap.Option
+	if census {
+		opts = append(opts, heap.WithCensus())
+	}
+	h := heap.New(opts...)
+	c := mk(h)
+	w, err := NewWriter(out, Header{Census: census, Meta: meta})
+	if err != nil {
+		return h.Stats, err
+	}
+	rec, err := NewRecorder(h, w)
+	if err != nil {
+		return h.Stats, err
+	}
+	runErr := run(h, rec.Collector(c))
+	if err := rec.Finish(); err != nil {
+		return h.Stats, err
+	}
+	return h.Stats, runErr
+}
+
+// Recorder captures a heap's mutator events into a trace. It installs
+// itself as the heap's event sink and move hook; the move hook keeps a
+// current-address → allocation-order-ID map, so recorded traces are
+// independent of where any collector happens to place objects.
+//
+// Recording never perturbs the simulated run: the heap's words, roots,
+// statistics, and collection schedule are identical with and without a
+// recorder attached (only host-side wall clock changes), so the GCStats of
+// a recorded run equal those of an unrecorded one.
+type Recorder struct {
+	h        *heap.Heap
+	w        *Writer
+	ids      map[heap.Word]uint64 // live object address -> allocation ID
+	ev       Event                // scratch, re-encoded by every callback
+	err      error                // sticky first failure
+	finished bool
+}
+
+// NewRecorder attaches a recorder to h, streaming events into w. The heap
+// must be pristine — no objects, handles, or globals yet — because object
+// IDs, root depths, and global indices are positional; and its census mode
+// must match the writer's header, because the hidden census word changes
+// allocation sizes. The collector may already be installed (collector
+// construction allocates no objects).
+func NewRecorder(h *heap.Heap, w *Writer) (*Recorder, error) {
+	if h.Stats.ObjectsAllocated != 0 || h.LiveRefs() != 0 || h.GlobalRoots() != 0 {
+		return nil, fmt.Errorf("%w: recorder needs a pristine heap (have %d objects, %d refs, %d globals)",
+			ErrInvalid, h.Stats.ObjectsAllocated, h.LiveRefs(), h.GlobalRoots())
+	}
+	if h.CensusEnabled() != w.Header().Census {
+		return nil, fmt.Errorf("%w: heap census=%v but trace header census=%v",
+			ErrInvalid, h.CensusEnabled(), w.Header().Census)
+	}
+	r := &Recorder{h: h, w: w, ids: make(map[heap.Word]uint64)}
+	h.SetEventSink(r)
+	h.SetMoveHook(r.moved)
+	return r, nil
+}
+
+// Err returns the recorder's first failure, if any.
+func (r *Recorder) Err() error { return r.err }
+
+// Finish detaches the recorder and closes the trace with the heap's final
+// statistics. It returns the first error from the whole recording.
+func (r *Recorder) Finish() error {
+	if r.finished {
+		return r.err
+	}
+	r.finished = true
+	r.h.SetEventSink(nil)
+	r.h.SetMoveHook(nil)
+	if r.err != nil {
+		return r.err
+	}
+	r.err = r.w.Close(Trailer{
+		WordsAllocated:   r.h.Stats.WordsAllocated,
+		ObjectsAllocated: r.h.Stats.ObjectsAllocated,
+		Events:           r.w.Events(),
+	})
+	return r.err
+}
+
+func (r *Recorder) failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrInvalid, fmt.Sprintf(format, args...))
+	}
+}
+
+// moved is the heap move hook: collectors relocating an object carry its
+// ID to the new address.
+func (r *Recorder) moved(old, new heap.Word) {
+	if id, ok := r.ids[old]; ok {
+		delete(r.ids, old)
+		r.ids[new] = id
+	}
+}
+
+// value translates a heap word into a trace operand: pointers become
+// allocation IDs, everything else travels as immediate bits.
+func (r *Recorder) value(w heap.Word) Value {
+	if !heap.IsPtr(w) {
+		return Imm(w)
+	}
+	id, ok := r.ids[w]
+	if !ok {
+		r.failf("pointer %#x does not resolve to a recorded object", uint64(w))
+		return Imm(0)
+	}
+	return Obj(id)
+}
+
+// objID resolves the event's target object.
+func (r *Recorder) objID(w heap.Word) (uint64, bool) {
+	id, ok := r.ids[w]
+	if !ok {
+		r.failf("event target %#x does not resolve to a recorded object", uint64(w))
+	}
+	return id, ok
+}
+
+func (r *Recorder) append() {
+	if err := r.w.Append(&r.ev); err != nil && r.err == nil {
+		r.err = err
+	}
+}
+
+// EvAlloc implements heap.EventSink.
+func (r *Recorder) EvAlloc(w heap.Word, t heap.Type, payload int) {
+	if r.err != nil {
+		return
+	}
+	r.ev = Event{Kind: KindAlloc, Type: t, Size: payload}
+	r.append()
+	// Append assigned the allocation its ID; dead objects whose address is
+	// being reused are overwritten here, which also bounds the map by the
+	// heap's total words.
+	r.ids[w] = r.ev.Obj
+}
+
+// EvStore implements heap.EventSink.
+func (r *Recorder) EvStore(w heap.Word, i int, val heap.Word) {
+	if r.err != nil {
+		return
+	}
+	id, ok := r.objID(w)
+	if !ok {
+		return
+	}
+	r.ev = Event{Kind: KindStore, Obj: id, Slot: i, Val: r.value(val)}
+	if r.err == nil {
+		r.append()
+	}
+}
+
+// EvFill implements heap.EventSink.
+func (r *Recorder) EvFill(w heap.Word, val heap.Word) {
+	if r.err != nil {
+		return
+	}
+	id, ok := r.objID(w)
+	if !ok {
+		return
+	}
+	r.ev = Event{Kind: KindFill, Obj: id, Val: r.value(val)}
+	if r.err == nil {
+		r.append()
+	}
+}
+
+// EvRaw implements heap.EventSink.
+func (r *Recorder) EvRaw(w heap.Word, i int, bits uint64) {
+	if r.err != nil {
+		return
+	}
+	id, ok := r.objID(w)
+	if !ok {
+		return
+	}
+	r.ev = Event{Kind: KindRaw, Obj: id, Slot: i, Val: Value{Bits: bits}}
+	r.append()
+}
+
+// EvIntern implements heap.EventSink.
+func (r *Recorder) EvIntern(w heap.Word, name string) {
+	if r.err != nil {
+		return
+	}
+	id, ok := r.objID(w)
+	if !ok {
+		return
+	}
+	r.ev = Event{Kind: KindIntern, Obj: id, Name: name}
+	r.append()
+}
+
+// EvRootPush implements heap.EventSink.
+func (r *Recorder) EvRootPush(w heap.Word) {
+	if r.err != nil {
+		return
+	}
+	r.ev = Event{Kind: KindPush, Val: r.value(w)}
+	if r.err == nil {
+		r.append()
+	}
+}
+
+// EvRootPopTo implements heap.EventSink.
+func (r *Recorder) EvRootPopTo(depth int) {
+	if r.err != nil {
+		return
+	}
+	r.ev = Event{Kind: KindPopTo, Size: depth}
+	r.append()
+}
+
+// EvRootSet implements heap.EventSink.
+func (r *Recorder) EvRootSet(ref heap.Ref, w heap.Word) {
+	if r.err != nil {
+		return
+	}
+	r.ev = Event{Kind: KindSet, Ref: int32(ref), Val: r.value(w)}
+	if r.err == nil {
+		r.append()
+	}
+}
+
+// EvGlobal implements heap.EventSink.
+func (r *Recorder) EvGlobal(w heap.Word) {
+	if r.err != nil {
+		return
+	}
+	r.ev = Event{Kind: KindGlobal, Val: r.value(w)}
+	if r.err == nil {
+		r.append()
+	}
+}
+
+// collect records a collection boundary.
+func (r *Recorder) collect(full bool) {
+	if r.err != nil {
+		return
+	}
+	r.ev = Event{Kind: KindCollect, Full: full}
+	r.append()
+}
+
+// fullCollector is the optional whole-heap collection the non-predictive
+// collectors expose (same contract as gcfuzz's).
+type fullCollector interface{ FullCollect() }
+
+// RecordingCollector wraps a collector so that mutator-requested
+// collection boundaries land in the trace. It records the *intent* —
+// collect versus full-collect — not what the wrapped collector did with
+// it, so a replay under a different collector applies its own policy
+// exactly as a live run would have.
+type RecordingCollector struct {
+	heap.Collector
+	r *Recorder
+}
+
+// Collector wraps c for recording. Drive the workload through the wrapper;
+// allocations still flow through the heap's installed allocator.
+func (r *Recorder) Collector(c heap.Collector) *RecordingCollector {
+	return &RecordingCollector{Collector: c, r: r}
+}
+
+// Collect records the boundary, then collects.
+func (rc *RecordingCollector) Collect() {
+	rc.r.collect(false)
+	rc.Collector.Collect()
+}
+
+// FullCollect records a full-collection boundary, then performs one where
+// the wrapped collector supports it, falling back to Collect — mirroring
+// how replay treats a full boundary under each collector.
+func (rc *RecordingCollector) FullCollect() {
+	rc.r.collect(true)
+	if fc, ok := rc.Collector.(fullCollector); ok {
+		fc.FullCollect()
+	} else {
+		rc.Collector.Collect()
+	}
+}

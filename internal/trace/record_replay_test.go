@@ -1,0 +1,133 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rdgc/internal/gc/gcfuzz"
+	"rdgc/internal/gc/gctest"
+	"rdgc/internal/heap"
+	"rdgc/internal/trace"
+)
+
+type fullCollector interface{ FullCollect() }
+
+// driveMutator runs a deterministic randomized mutator workload: the op
+// stream depends only on the seed and the shadow model, never on the
+// collector, so every collector sees the identical workload — the same
+// property the fuzz harness relies on.
+func driveMutator(h *heap.Heap, c heap.Collector, seed int64, steps int) {
+	rng := rand.New(rand.NewSource(seed))
+	m := gctest.NewMutator(h, rng)
+	for i := 0; i < steps; i++ {
+		switch {
+		case i%97 == 96:
+			if fc, ok := c.(fullCollector); ok {
+				fc.FullCollect()
+			} else {
+				c.Collect()
+			}
+		case i%53 == 52:
+			c.Collect()
+		default:
+			m.Op(rng.Intn(gctest.NumOps))
+		}
+	}
+	c.Collect()
+}
+
+// recordMutator records the workload under the named constructor and
+// returns the trace bytes plus the recording run's stats.
+func recordMutator(t *testing.T, mk func(*heap.Heap) heap.Collector, census bool, seed int64, steps int) ([]byte, heap.Stats, heap.GCStats) {
+	t.Helper()
+	var opts []heap.Option
+	if census {
+		opts = append(opts, heap.WithCensus())
+	}
+	h := heap.New(opts...)
+	c := mk(h)
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, trace.Header{Census: census})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := trace.NewRecorder(h, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveMutator(h, rec.Collector(c), seed, steps)
+	if err := rec.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), h.Stats, *c.GCStats()
+}
+
+// liveMutator runs the same workload without any recording.
+func liveMutator(mk func(*heap.Heap) heap.Collector, census bool, seed int64, steps int) (heap.Stats, heap.GCStats) {
+	var opts []heap.Option
+	if census {
+		opts = append(opts, heap.WithCensus())
+	}
+	h := heap.New(opts...)
+	c := mk(h)
+	driveMutator(h, c, seed, steps)
+	return h.Stats, *c.GCStats()
+}
+
+// TestMutatorReplayConformance is the tentpole's acceptance property: a
+// workload recorded under one collector replays under every collector with
+// byte-identical mutator Stats and GCStats identical to a live run of that
+// collector — and the trace bytes themselves do not depend on which
+// collector recorded them.
+func TestMutatorReplayConformance(t *testing.T) {
+	collectors := gcfuzz.Collectors()
+	for _, census := range []bool{false, true} {
+		for _, seed := range []int64{1, 2} {
+			const steps = 600
+			raw, recStats, recGC := recordMutator(t, collectors[0].New, census, seed, steps)
+
+			// Recording must not perturb the run: the recording collector's
+			// stats equal an unrecorded live run's.
+			liveStats, liveGC := liveMutator(collectors[0].New, census, seed, steps)
+			if recStats != liveStats || recGC != liveGC {
+				t.Fatalf("census=%v seed=%d: recording perturbed the run:\nrec  %+v %+v\nlive %+v %+v",
+					census, seed, recStats, recGC, liveStats, liveGC)
+			}
+
+			// Record once: a different recording collector yields the same bytes.
+			raw2, _, _ := recordMutator(t, collectors[3].New, census, seed, steps)
+			if !bytes.Equal(raw, raw2) {
+				t.Fatalf("census=%v seed=%d: trace bytes depend on the recording collector (%s vs %s)",
+					census, seed, collectors[0].Name, collectors[3].Name)
+			}
+
+			for _, nc := range collectors {
+				wantStats, wantGC := liveMutator(nc.New, census, seed, steps)
+
+				rd, err := trace.NewReader(bytes.NewReader(raw))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var opts []heap.Option
+				if census {
+					opts = append(opts, heap.WithCensus())
+				}
+				h := heap.New(opts...)
+				c := nc.New(h)
+				res, err := trace.Replay(rd, h, c, trace.ReplayOptions{Verify: true})
+				if err != nil {
+					t.Fatalf("census=%v seed=%d replay under %s: %v", census, seed, nc.Name, err)
+				}
+				if res.Stats != wantStats {
+					t.Errorf("census=%v seed=%d %s: replay stats %+v, live %+v",
+						census, seed, nc.Name, res.Stats, wantStats)
+				}
+				if got := *c.GCStats(); got != wantGC {
+					t.Errorf("census=%v seed=%d %s: replay GCStats %+v, live %+v",
+						census, seed, nc.Name, got, wantGC)
+				}
+			}
+		}
+	}
+}

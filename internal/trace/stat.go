@@ -1,0 +1,148 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"strings"
+
+	"rdgc/internal/heap"
+)
+
+// TypeStat aggregates the allocations of one object type.
+type TypeStat struct {
+	Count uint64
+	Words uint64 // payload words, excluding headers and census stamps
+}
+
+// Summary is the aggregate view of one trace, as produced by Stat and
+// printed by cmd/gctrace stat.
+type Summary struct {
+	Header  Header
+	Trailer Trailer
+
+	// ByKind counts events per kind (index by Kind).
+	ByKind [kindMax + 1]uint64
+	// ByType aggregates allocations per object type.
+	ByType [heap.TFree]TypeStat
+	// SizeHist buckets allocations by payload words: bucket i counts
+	// payloads with bits.Len64(size) == i, i.e. [2^(i-1), 2^i).
+	SizeHist []uint64
+	// LifetimeHist buckets objects by words allocated between their birth
+	// and the last event that references them — an upper bound on actual
+	// lifetime that needs no collector, in the same words-clock the
+	// lifetime censuses use (census stamps included when the trace
+	// recorded a census heap).
+	LifetimeHist []uint64
+	// Collections and FullCollections count mutator-requested boundaries.
+	Collections     uint64
+	FullCollections uint64
+}
+
+// Stat consumes the whole trace and aggregates it.
+func Stat(rd *Reader) (*Summary, error) {
+	s := &Summary{Header: rd.Header()}
+	extra := uint64(0)
+	if s.Header.Census {
+		extra = 1
+	}
+	var clock uint64 // words allocated so far, mirroring heap.Stats
+	var birth, last []uint64
+
+	touch := func(id uint64) {
+		last[id] = clock
+	}
+	var ev Event
+	for {
+		err := rd.Next(&ev)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.ByKind[ev.Kind]++
+		switch ev.Kind {
+		case KindAlloc:
+			size := uint64(ev.Size)
+			clock += 1 + size + extra
+			s.ByType[ev.Type].Count++
+			s.ByType[ev.Type].Words += size
+			s.SizeHist = bump(s.SizeHist, size)
+			birth = append(birth, clock)
+			last = append(last, clock)
+		case KindStore, KindFill, KindRaw, KindIntern:
+			touch(ev.Obj)
+			if ev.Val.IsObj {
+				touch(ev.Val.Bits)
+			}
+		case KindPush, KindSet, KindGlobal:
+			if ev.Val.IsObj {
+				touch(ev.Val.Bits)
+			}
+		case KindCollect:
+			if ev.Full {
+				s.FullCollections++
+			} else {
+				s.Collections++
+			}
+		}
+	}
+	s.Trailer = rd.Trailer()
+	for id := range birth {
+		s.LifetimeHist = bump(s.LifetimeHist, last[id]-birth[id])
+	}
+	return s, nil
+}
+
+// bump increments the power-of-two bucket for v, growing hist as needed.
+func bump(hist []uint64, v uint64) []uint64 {
+	b := bits.Len64(v)
+	for len(hist) <= b {
+		hist = append(hist, 0)
+	}
+	hist[b]++
+	return hist
+}
+
+// Format renders the summary as cmd/gctrace stat prints it.
+func (s *Summary) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "census: %v\n", s.Header.Census)
+	for _, m := range s.Header.Meta {
+		fmt.Fprintf(&b, "meta:   %s = %s\n", m.Key, m.Value)
+	}
+	fmt.Fprintf(&b, "events: %d   words: %d   objects: %d\n",
+		s.Trailer.Events, s.Trailer.WordsAllocated, s.Trailer.ObjectsAllocated)
+	fmt.Fprintf(&b, "collections requested: %d (+%d full)\n", s.Collections, s.FullCollections)
+
+	b.WriteString("events by kind:\n")
+	for k := Kind(1); k <= kindMax; k++ {
+		if n := s.ByKind[k]; n > 0 {
+			fmt.Fprintf(&b, "  %-8s %12d\n", k, n)
+		}
+	}
+	b.WriteString("allocations by type:\n")
+	for t, ts := range s.ByType {
+		if ts.Count > 0 {
+			fmt.Fprintf(&b, "  %-8s %12d objects %12d payload words\n", heap.Type(t), ts.Count, ts.Words)
+		}
+	}
+	writeHist(&b, "allocation size (payload words)", s.SizeHist)
+	writeHist(&b, "lifetime upper bound (words to last reference)", s.LifetimeHist)
+	return b.String()
+}
+
+func writeHist(b *strings.Builder, title string, hist []uint64) {
+	fmt.Fprintf(b, "%s:\n", title)
+	for i, n := range hist {
+		if n == 0 {
+			continue
+		}
+		lo, hi := uint64(0), uint64(0)
+		if i > 0 {
+			lo, hi = uint64(1)<<(i-1), uint64(1)<<i-1
+		}
+		fmt.Fprintf(b, "  [%8d, %8d] %12d\n", lo, hi, n)
+	}
+}

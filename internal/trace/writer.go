@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Writer streams events into the trace format. It buffers at most one
+// block (~32 KiB), never the whole trace. The caller must Close with the
+// final trailer; a trace without a trailer reads back as truncated.
+type Writer struct {
+	w      io.Writer
+	hdr    Header
+	buf    []byte // current block's payload, sealed at blockTarget
+	frame  []byte // scratch for framing (length + crc) and the preamble
+	nextID uint64 // ID the next KindAlloc event will receive
+	events uint64
+	closed bool
+	err    error // sticky first error
+}
+
+// NewWriter writes the trace preamble (magic, version, header block) to w
+// and returns a streaming event writer. It does not close w.
+func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
+	tw := &Writer{w: w, hdr: hdr}
+	tw.frame = append(tw.frame[:0], magic[:]...)
+	tw.frame = binary.AppendUvarint(tw.frame, FormatVersion)
+	if _, err := w.Write(tw.frame); err != nil {
+		return nil, err
+	}
+	var flags uint64
+	if hdr.Census {
+		flags |= 1
+	}
+	tw.buf = binary.AppendUvarint(tw.buf, flags)
+	tw.buf = binary.AppendUvarint(tw.buf, uint64(len(hdr.Meta)))
+	for _, e := range hdr.Meta {
+		tw.buf = appendString(tw.buf, e.Key)
+		tw.buf = appendString(tw.buf, e.Value)
+	}
+	if err := tw.flushBlock(); err != nil {
+		return nil, err
+	}
+	return tw, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+// flushBlock frames and writes the buffered payload, if any.
+func (w *Writer) flushBlock() error {
+	if w.err != nil || len(w.buf) == 0 {
+		return w.err
+	}
+	w.frame = binary.AppendUvarint(w.frame[:0], uint64(len(w.buf)))
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, crc32.ChecksumIEEE(w.buf))
+	if _, err := w.w.Write(w.frame); err != nil {
+		w.err = err
+		return err
+	}
+	if _, err := w.w.Write(w.buf); err != nil {
+		w.err = err
+		return err
+	}
+	w.buf = w.buf[:0]
+	return nil
+}
+
+// Events returns the number of events appended so far.
+func (w *Writer) Events() uint64 { return w.events }
+
+// Header returns the header the writer opened the trace with.
+func (w *Writer) Header() Header { return w.hdr }
+
+// Append encodes one event. For KindAlloc it assigns the object its
+// allocation-order ID and stores it in ev.Obj. Events referencing objects
+// validate against the IDs allocated so far and fail with ErrInvalid.
+func (w *Writer) Append(ev *Event) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		w.err = fmt.Errorf("%w: append after Close", ErrInvalid)
+		return w.err
+	}
+	b := append(w.buf, byte(ev.Kind))
+	var err error
+	switch ev.Kind {
+	case KindAlloc:
+		b = append(b, byte(ev.Type))
+		b = binary.AppendUvarint(b, uint64(ev.Size))
+		ev.Obj = w.nextID
+		w.nextID++
+	case KindStore:
+		if b, err = w.appendObj(b, ev.Obj); err == nil {
+			b = binary.AppendUvarint(b, uint64(ev.Slot))
+			b, err = w.appendValue(b, ev.Val)
+		}
+	case KindFill:
+		if b, err = w.appendObj(b, ev.Obj); err == nil {
+			b, err = w.appendValue(b, ev.Val)
+		}
+	case KindRaw:
+		if b, err = w.appendObj(b, ev.Obj); err == nil {
+			b = binary.AppendUvarint(b, uint64(ev.Slot))
+			b = binary.LittleEndian.AppendUint64(b, ev.Val.Bits)
+		}
+	case KindIntern:
+		if b, err = w.appendObj(b, ev.Obj); err == nil {
+			b = appendString(b, ev.Name)
+		}
+	case KindPush, KindGlobal:
+		b, err = w.appendValue(b, ev.Val)
+	case KindPopTo:
+		b = binary.AppendUvarint(b, uint64(ev.Size))
+	case KindSet:
+		b = binary.AppendUvarint(b, zenc(int64(ev.Ref)))
+		b, err = w.appendValue(b, ev.Val)
+	case KindCollect:
+		full := byte(0)
+		if ev.Full {
+			full = 1
+		}
+		b = append(b, full)
+	default:
+		err = fmt.Errorf("%w: unknown kind %d", ErrInvalid, ev.Kind)
+	}
+	if err != nil {
+		w.err = err
+		return err
+	}
+	w.buf = b
+	w.events++
+	if len(w.buf) >= blockTarget {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+// appendObj delta-encodes a target object ID against the most recently
+// allocated object.
+func (w *Writer) appendObj(b []byte, id uint64) ([]byte, error) {
+	if id >= w.nextID {
+		return b, fmt.Errorf("%w: reference to unallocated object #%d", ErrInvalid, id)
+	}
+	return binary.AppendUvarint(b, w.nextID-1-id), nil
+}
+
+func (w *Writer) appendValue(b []byte, v Value) ([]byte, error) {
+	if v.IsObj {
+		b = append(b, 1)
+		return w.appendObj(b, v.Bits)
+	}
+	b = append(b, 0)
+	// Zigzag keeps negative fixnums (sign-extended word bits) short.
+	return binary.AppendUvarint(b, zenc(int64(v.Bits))), nil
+}
+
+// Close seals the final block and writes the terminator and trailer. The
+// trailer's event count must match the number of appended events.
+func (w *Writer) Close(tr Trailer) error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.closed {
+		return nil
+	}
+	if tr.Events != w.events {
+		w.err = fmt.Errorf("%w: trailer says %d events, wrote %d", ErrInvalid, tr.Events, w.events)
+		return w.err
+	}
+	if err := w.flushBlock(); err != nil {
+		return err
+	}
+	w.closed = true
+	w.frame = binary.AppendUvarint(w.frame[:0], 0) // terminator
+	body := binary.AppendUvarint(nil, tr.WordsAllocated)
+	body = binary.AppendUvarint(body, tr.ObjectsAllocated)
+	body = binary.AppendUvarint(body, tr.Events)
+	w.frame = append(w.frame, body...)
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, crc32.ChecksumIEEE(body))
+	if _, err := w.w.Write(w.frame); err != nil {
+		w.err = err
+		return err
+	}
+	return nil
+}
