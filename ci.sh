@@ -31,6 +31,14 @@ check_cover ./internal/heap 82
 check_cover ./internal/remset 96
 check_cover ./internal/trace 85
 
+# Parallel tracing: the conformance suite (which parameterizes worker
+# counts itself) and the heap engines re-run under the race detector with
+# RDGC_GC_WORKERS pinned to 4 for the env-sensitive paths, then the
+# workers=1 parity smoke (the parallel engines must stay within noise of
+# the sequential ones).
+RDGC_GC_WORKERS=4 go test -race -count=1 ./internal/heap ./internal/gc/conformance
+go run ./cmd/benchreport -smoke
+
 # Trace smoke: record a small benchmark once, then replay the trace under
 # every collector with the deep heap-invariant verifier on. Exercises the
 # full record -> replay -> verify pipeline through the actual CLI.
@@ -41,5 +49,7 @@ go run ./cmd/gctrace replay -verify "$trace_tmp/lattice.trace"
 go run ./cmd/gctrace stat "$trace_tmp/lattice.trace" > /dev/null
 
 # Fuzz smoke: a bounded mutation run of the cross-collector byte-program
-# harness (the seed corpus replays first). Real campaigns: make fuzz.
-go test -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz
+# harness (the seed corpus replays first), under the race detector with the
+# parallel tracing engines at four workers so every fuzz input also drives
+# the concurrent drains. Real campaigns: make fuzz.
+RDGC_GC_WORKERS=4 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz

@@ -44,8 +44,11 @@ type EngineResult struct {
 }
 
 // CollectorResult is one collector's throughput on the decay workload.
+// GCWorkers is 0 for the default sequential engines; parallel grid rows
+// carry the tracing-worker count they ran with.
 type CollectorResult struct {
 	Collector         string  `json:"collector"`
+	GCWorkers         int     `json:"gc_workers,omitempty"`
 	Steps             int     `json:"steps"`
 	WallNS            int64   `json:"wall_ns"`
 	WordsTraced       uint64  `json:"words_traced"`
@@ -53,6 +56,18 @@ type CollectorResult struct {
 	NsPerTracedWord   float64 `json:"ns_per_traced_word"`
 	MarkCons          float64 `json:"mark_cons"`
 	Collections       int     `json:"collections"`
+}
+
+// ParallelResult is one engine-scaling row: a wide live forest traced by a
+// persistent engine at a fixed tracing-worker count. Workers == 0 is the
+// sequential engine (the zero-regression control); workers >= 1 the
+// parallel engine.
+type ParallelResult struct {
+	Engine      string  `json:"engine"`
+	GCWorkers   int     `json:"gc_workers"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	WordsPerOp  uint64  `json:"words_per_op"`
+	WordsPerSec float64 `json:"words_per_sec"`
 }
 
 // TraceResult is one trace-subsystem benchmark row: the decay workload with
@@ -71,11 +86,16 @@ type TraceResult struct {
 	VsBaseline float64 `json:"vs_baseline,omitempty"`
 }
 
-// Report is one full measurement run.
+// Report is one full measurement run. CPUs records how many cores the
+// measurement had: parallel speedups are only meaningful when CPUs covers
+// the worker count (a 1-CPU container measures coordination overhead, not
+// scaling).
 type Report struct {
 	Schema     string            `json:"schema"`
 	GoVersion  string            `json:"go_version"`
+	CPUs       int               `json:"cpus"`
 	Engines    []EngineResult    `json:"engines"`
+	Parallel   []ParallelResult  `json:"parallel,omitempty"`
 	Collectors []CollectorResult `json:"collectors"`
 	Traces     []TraceResult     `json:"traces,omitempty"`
 }
@@ -173,9 +193,81 @@ func engineBenchmarks() []EngineResult {
 	return []EngineResult{mk("evacuate-drain", evac), mk("mark-drain", mark)}
 }
 
+// Parallel forest shape: forestChains independently rooted chains of
+// forestLen pairs give the work-distribution machinery real breadth, and
+// the whole graph (~221k words) is the "large heap" the scaling criterion
+// names.
+const (
+	forestChains = 256
+	forestLen    = 96
+)
+
+// buildForest roots forestChains chains in s and returns the word count.
+func buildForest(h *heap.Heap, s *heap.Space) uint64 {
+	for c := 0; c < forestChains; c++ {
+		h.GlobalWord(buildChain(h, s, forestLen))
+	}
+	return uint64(3 * forestChains * forestLen)
+}
+
+// parallelBenchmarks measures the tracing engines over the wide forest at
+// each worker count. Workers == 0 runs the sequential engines on the same
+// graph — the control row proving the default path did not regress.
+func parallelBenchmarks(workerCounts []int) []ParallelResult {
+	var out []ParallelResult
+	for _, workers := range workerCounts {
+		workers := workers
+		words := uint64(3 * forestChains * forestLen)
+
+		mark := bestOf(3, func(b *testing.B) {
+			h := heap.New()
+			s := h.NewSpace("forest", 1<<18)
+			buildForest(h, s)
+			h.SetGCWorkers(workers)
+			m := heap.NewMarker(h, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Begin()
+				m.Run()
+				heap.ClearMarks(s)
+			}
+		})
+		evac := bestOf(3, func(b *testing.B) {
+			h := heap.New()
+			from := h.NewSpace("forest-A", 1<<18)
+			to := h.NewSpace("forest-B", 1<<18)
+			buildForest(h, from)
+			h.SetGCWorkers(workers)
+			e := heap.NewEvacuator(h, nil)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.SetFrom(from)
+				e.Begin(to)
+				e.Run()
+				from.Reset()
+				from, to = to, from
+			}
+		})
+
+		mk := func(engine string, r testing.BenchmarkResult) ParallelResult {
+			ns := float64(r.NsPerOp())
+			return ParallelResult{
+				Engine:      engine,
+				GCWorkers:   workers,
+				NsPerOp:     ns,
+				WordsPerOp:  words,
+				WordsPerSec: float64(words) / ns * 1e9,
+			}
+		}
+		out = append(out, mk("mark", mark), mk("evacuate", evac))
+	}
+	return out
+}
+
 // collectorGrid times every collector tracing the decay workload, sized as
-// internal/experiments sizes them (h=768, L=3.5, g=0.25, k=16).
-func collectorGrid() []CollectorResult {
+// internal/experiments sizes them (h=768, L=3.5, g=0.25, k=16), with the
+// heap configured for gcWorkers tracing workers (0 = sequential engines).
+func collectorGrid(gcWorkers int) []CollectorResult {
 	cfg := experiments.DecayConfig{HalfLife: 768, L: 3.5, G: 0.25, K: 16, Steps: workloadSteps}
 	total := cfg.HeapWords()
 	nursery := total / 8
@@ -212,6 +304,7 @@ func collectorGrid() []CollectorResult {
 		// measurement of the same work.
 		for round := 0; round < 3; round++ {
 			h := heap.New()
+			h.SetGCWorkers(gcWorkers)
 			c := ct.mk(h)
 			w := decay.NewWorkload(h, 768, 1)
 			w.Warmup(10)
@@ -223,6 +316,7 @@ func collectorGrid() []CollectorResult {
 			traced := (g1.WordsCopied - g0.WordsCopied) + (g1.WordsMarked - g0.WordsMarked)
 			r := CollectorResult{
 				Collector:   ct.name,
+				GCWorkers:   gcWorkers,
 				Steps:       workloadSteps,
 				WallNS:      wall.Nanoseconds(),
 				WordsTraced: traced,
@@ -361,11 +455,17 @@ func traceBenchmarks() []TraceResult {
 }
 
 func run() *Report {
+	collectors := collectorGrid(0)
+	for _, w := range []int{1, 2, 4, 8} {
+		collectors = append(collectors, collectorGrid(w)...)
+	}
 	return &Report{
-		Schema:     "rdgc-bench/2",
+		Schema:     "rdgc-bench/3",
 		GoVersion:  runtime.Version(),
+		CPUs:       runtime.GOMAXPROCS(0),
 		Engines:    engineBenchmarks(),
-		Collectors: collectorGrid(),
+		Parallel:   parallelBenchmarks([]int{0, 1, 2, 4, 8}),
+		Collectors: collectors,
 		Traces:     traceBenchmarks(),
 	}
 }
@@ -403,8 +503,11 @@ func speedups(before, after *Report) map[string]float64 {
 		}
 	}
 	for _, b := range before.Collectors {
+		if b.GCWorkers != 0 {
+			continue // compare the sequential-default rows across reports
+		}
 		for _, a := range after.Collectors {
-			if a.Collector == b.Collector && a.NsPerTracedWord > 0 && b.NsPerTracedWord > 0 {
+			if a.GCWorkers == 0 && a.Collector == b.Collector && a.NsPerTracedWord > 0 && b.NsPerTracedWord > 0 {
 				out["collector/"+a.Collector] = b.NsPerTracedWord / a.NsPerTracedWord
 			}
 		}
@@ -452,11 +555,48 @@ func compare(pathA, pathB string) error {
 	return nil
 }
 
+// smoke is the CI parity gate: the workers=1 parallel engines must stay
+// within noise of the sequential engines on the same forest (the inline
+// worker loop adds no goroutines, so a large gap means the parallel drain
+// grew a per-object cost). The 1.75x bound is deliberately loose — it
+// catches algorithmic regressions, not scheduler jitter.
+func smoke() error {
+	const maxRatio = 1.75
+	rows := parallelBenchmarks([]int{0, 1})
+	byKey := make(map[string]ParallelResult)
+	for _, r := range rows {
+		byKey[fmt.Sprintf("%s/%d", r.Engine, r.GCWorkers)] = r
+	}
+	var failed bool
+	for _, engine := range []string{"mark", "evacuate"} {
+		seq, par := byKey[engine+"/0"], byKey[engine+"/1"]
+		ratio := par.NsPerOp / seq.NsPerOp
+		fmt.Printf("smoke: %-9s sequential %.0f ns/op, workers=1 parallel %.0f ns/op (%.2fx)\n",
+			engine, seq.NsPerOp, par.NsPerOp, ratio)
+		if ratio > maxRatio {
+			failed = true
+		}
+	}
+	if failed {
+		return fmt.Errorf("workers=1 parallel engine exceeds %.2fx of sequential", maxRatio)
+	}
+	return nil
+}
+
 func main() {
 	out := flag.String("out", "-", "write the report JSON here (- for stdout)")
 	before := flag.String("before", "", "embed this prior report as the before run and compute speedups")
 	cmp := flag.Bool("compare", false, "compare two BENCH_*.json files given as arguments instead of measuring")
+	smokeOnly := flag.Bool("smoke", false, "only check workers=1 parallel-engine parity with the sequential engines")
 	flag.Parse()
+
+	if *smokeOnly {
+		if err := smoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cmp {
 		if flag.NArg() != 2 {

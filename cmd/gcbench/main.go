@@ -44,6 +44,7 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced-scale benchmark instances")
 	withHybrid := flag.Bool("hybrid", false, "also measure the hybrid (non-predictive) collector")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
+	gcworkers := flag.Int("gcworkers", -1, "parallel tracing workers per heap (0 = sequential engines; -1 = $RDGC_GC_WORKERS)")
 	progress := flag.Bool("progress", false, "report per-cell completion and wall-clock to stderr")
 	jsonOut := flag.Bool("json", false, "emit per-cell measurements as JSON instead of the table")
 	record := flag.String("record", "", "also record each benchmark as an allocation-event trace into `dir` (see cmd/gctrace)")
@@ -62,9 +63,11 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	gw := heap.ResolveGCWorkers(*gcworkers)
+	heap.SetDefaultGCWorkers(gw)
 	// run holds the early-returning body so the profile teardown below
 	// covers every exit path.
-	run(*table2, *quick, *withHybrid, *parallel, *progress, *jsonOut, *record)
+	run(*table2, *quick, *withHybrid, *parallel, gw, *progress, *jsonOut, *record)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -83,7 +86,7 @@ func main() {
 	}
 }
 
-func run(table2Only, quick, withHybrid bool, parallel int, progress, jsonOut bool, recordDir string) {
+func run(table2Only, quick, withHybrid bool, parallel, gcworkers int, progress, jsonOut bool, recordDir string) {
 	if table2Only {
 		fmt.Println("Table 2: benchmark inventory (Go reimplementation)")
 		for _, i := range bench.Table2() {
@@ -138,7 +141,7 @@ func run(table2Only, quick, withHybrid bool, parallel int, progress, jsonOut boo
 	if progress {
 		pw = os.Stderr
 	}
-	results := runner.Run(specs, runner.Options{Workers: parallel, Progress: pw})
+	results := runner.Run(specs, runner.Options{Workers: parallel, Progress: pw, GCWorkersPerCell: gcworkers})
 
 	if jsonOut {
 		emitJSON(results, withHybrid)

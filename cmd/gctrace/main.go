@@ -186,8 +186,11 @@ func cmdReplay(args []string) error {
 	collector := fs.String("collector", "all", "replay under one named collector, or all seven")
 	verify := fs.Bool("verify", false, "run the deep heap-invariant verifier after every collection")
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
+	gcworkers := fs.Int("gcworkers", -1, "parallel tracing workers per heap (0 = sequential engines; -1 = $RDGC_GC_WORKERS); marking parallelizes, evacuation stays sequential under the replayer's move hook")
 	progress := fs.Bool("progress", false, "report per-cell completion and wall-clock to stderr")
 	fs.Parse(args)
+	gw := heap.ResolveGCWorkers(*gcworkers)
+	heap.SetDefaultGCWorkers(gw)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay needs exactly one trace file")
 	}
@@ -233,7 +236,7 @@ func cmdReplay(args []string) error {
 	if *progress {
 		pw = os.Stderr
 	}
-	results := runner.Run(specs, runner.Options{Workers: *parallel, Progress: pw})
+	results := runner.Run(specs, runner.Options{Workers: *parallel, Progress: pw, GCWorkersPerCell: gw})
 
 	exit := error(nil)
 	for _, r := range results {

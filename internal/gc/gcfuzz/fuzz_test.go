@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"rdgc/internal/heap"
 )
 
 // seedPrograms are the hand-written corpus: each stresses a different slice
@@ -39,10 +41,28 @@ func FuzzCollectors(f *testing.F) {
 		f.Add(p)
 	}
 	f.Fuzz(func(t *testing.T, prog []byte) {
-		if err := RunAll(prog, censusFor(prog)); err != nil {
+		census := censusFor(prog)
+		if err := RunAll(prog, census); err != nil {
 			t.Fatal(err)
 		}
+		if err := RunAllAt(prog, census, fuzzGCWorkers(prog)); err != nil {
+			t.Fatalf("parallel tracing: %v", err)
+		}
 	})
+}
+
+// fuzzGCWorkers picks the parallel pass's worker count: RDGC_GC_WORKERS
+// when set (so CI can pin gcworkers=4 under -race), else derived from the
+// program bytes so the fuzzer itself explores {1, 2, 4, 8}.
+func fuzzGCWorkers(prog []byte) int {
+	if n := heap.GCWorkersFromEnv(); n > 0 {
+		return n
+	}
+	counts := [4]int{1, 2, 4, 8}
+	if len(prog) < 2 {
+		return counts[0]
+	}
+	return counts[prog[1]%4]
 }
 
 // TestSeedCorpus replays every checked-in corpus file through every
@@ -68,6 +88,9 @@ func TestSeedCorpus(t *testing.T) {
 		for _, census := range []bool{false, true} {
 			if err := RunAll(prog, census); err != nil {
 				t.Errorf("%s (census=%v): %v", e.Name(), census, err)
+			}
+			if err := RunAllAt(prog, census, 4); err != nil {
+				t.Errorf("%s (census=%v, gcworkers=4): %v", e.Name(), census, err)
 			}
 		}
 	}

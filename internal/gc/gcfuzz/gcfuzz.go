@@ -172,7 +172,14 @@ type fullCollector interface{ FullCollect() }
 // census turns on per-object birth stamps, doubling as a check that the
 // hidden census word never confuses a collector.
 func Run(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (heap.Stats, error) {
-	return RunWith(prog, mk, census, nil)
+	return runWith(prog, mk, census, nil, 0)
+}
+
+// RunAt is Run with the heap configured for gcWorkers parallel tracing
+// workers (0 = the sequential engines). The property set is unchanged:
+// parallel tracing must be invisible to every invariant checked here.
+func RunAt(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, gcWorkers int) (heap.Stats, error) {
+	return runWith(prog, mk, census, nil, gcWorkers)
 }
 
 // RunWith is Run with an instrumentation hook: when wrap is non-nil, the
@@ -182,6 +189,10 @@ func Run(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (heap.S
 // in here — cmd/gcfuzz -emit-trace exports a byte program as a trace —
 // without this package importing the trace codec.
 func RunWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wrap func(h *heap.Heap, c heap.Collector) heap.Collector) (heap.Stats, error) {
+	return runWith(prog, mk, census, wrap, 0)
+}
+
+func runWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wrap func(h *heap.Heap, c heap.Collector) heap.Collector, gcWorkers int) (heap.Stats, error) {
 	if len(prog) > MaxProgram {
 		prog = prog[:MaxProgram]
 	}
@@ -190,6 +201,7 @@ func RunWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wra
 		opts = append(opts, heap.WithCensus())
 	}
 	h := heap.New(opts...)
+	h.SetGCWorkers(gcWorkers)
 	c := mk(h)
 	drive := c
 	if wrap != nil {
@@ -256,9 +268,16 @@ func RunWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wra
 // the mutator statistics agree across all of them. It returns the first
 // violation, naming the collector that produced it.
 func RunAll(prog []byte, census bool) error {
+	return RunAllAt(prog, census, 0)
+}
+
+// RunAllAt is RunAll with every heap configured for gcWorkers parallel
+// tracing workers: the mutator statistics depend only on the program, so
+// they must also agree across worker counts.
+func RunAllAt(prog []byte, census bool, gcWorkers int) error {
 	var first heap.Stats
 	for i, nc := range Collectors() {
-		stats, err := Run(prog, nc.New, census)
+		stats, err := RunAt(prog, nc.New, census, gcWorkers)
 		if err != nil {
 			return fmt.Errorf("%s: %w", nc.Name, err)
 		}

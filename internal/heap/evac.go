@@ -60,6 +60,10 @@ type Evacuator struct {
 	// scan[i] is the per-target scan cursor for the gray region.
 	scan []int
 
+	// par is the lazily created parallel-drain machinery (parevac.go),
+	// persistent so steady-state parallel drains allocate nothing.
+	par *parEvac
+
 	// evacSlot is the stored slot-visitor closure, created once so passing
 	// it to VisitRoots/ScanObject never allocates.
 	evacSlot func(slot *Word)
@@ -207,6 +211,14 @@ func (e *Evacuator) reserve(n int) (*Space, int) {
 func (e *Evacuator) Drain() {
 	if refTracer {
 		e.drainReference()
+		return
+	}
+	// The parallel engine requires the fast from-bitset (no InFrom escape
+	// hatch) and no move hook: per-object hooks would fire concurrently and
+	// out of allocation order, so instrumented runs (trace recording) fall
+	// back to the sequential drain.
+	if w := e.H.gcWorkers; w > 0 && e.InFrom == nil && e.moved == nil {
+		e.drainParallel(w)
 		return
 	}
 	// Hoist the from-region dispatch out of the per-slot loop: fastFrom

@@ -108,6 +108,15 @@ type Heap struct {
 	// word after each header, else 0. It is fixed at heap creation.
 	extraWords int
 
+	// gcWorkers is the tracing-worker count: 0 selects the sequential
+	// engines, N >= 1 the parallel drains with N workers. New seeds it
+	// from the package default; SetGCWorkers overrides per heap.
+	gcWorkers int
+
+	// collectorLabel is the installed allocator's Name(), captured for
+	// pprof labels on parallel tracing workers.
+	collectorLabel string
+
 	// extraRoots lets collectors and instrumentation register additional
 	// root-slot visitors (e.g. remembered-set tables held outside spaces).
 	extraRoots []func(visit func(slot *Word))
@@ -142,8 +151,9 @@ func WithCensus() Option { return func(h *Heap) { h.extraWords = 1 } }
 // with SetAllocator.
 func New(opts ...Option) *Heap {
 	h := &Heap{
-		barrier: nopBarrier{},
-		symtab:  make(map[string]int),
+		barrier:   nopBarrier{},
+		symtab:    make(map[string]int),
+		gcWorkers: int(defaultGCWorkers.Load()),
 	}
 	for _, o := range opts {
 		o(h)
@@ -158,7 +168,12 @@ func (h *Heap) CensusEnabled() bool { return h.extraWords == 1 }
 func (h *Heap) ExtraWords() int { return h.extraWords }
 
 // SetAllocator installs the collector that will service allocations.
-func (h *Heap) SetAllocator(a Allocator) { h.alloc = a }
+func (h *Heap) SetAllocator(a Allocator) {
+	h.alloc = a
+	if n, ok := a.(interface{ Name() string }); ok {
+		h.collectorLabel = n.Name()
+	}
+}
 
 // SetBarrier installs the write barrier. Passing nil restores the no-op.
 func (h *Heap) SetBarrier(b Barrier) {

@@ -39,6 +39,10 @@ type Marker struct {
 
 	WordsMarked   uint64
 	ObjectsMarked int
+
+	// par is the lazily created parallel-drain machinery (parmark.go),
+	// persistent so steady-state parallel drains allocate nothing.
+	par *parMark
 }
 
 // NewMarker prepares a whole-heap marker when inRegion is nil, or a
@@ -140,6 +144,10 @@ func (m *Marker) Drain() {
 	}
 	if m.InRegion != nil {
 		m.drainPredicate()
+		return
+	}
+	if w := m.H.gcWorkers; w > 0 {
+		m.drainParallel(w)
 		return
 	}
 	extra := m.H.extraWords

@@ -1,0 +1,202 @@
+package heap
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"sync"
+)
+
+// Parallel marking: Marker.Drain dispatches here when the heap is
+// configured with GCWorkers >= 1. The roots have already been marked (and
+// counted) sequentially by MarkWord, so the engine's mark stack holds the
+// initial gray set; workers pop gray objects onto per-worker local stacks,
+// claim children by CASing the mark bit into the header, and balance load
+// through the shared parQueue.
+//
+// Determinism contract: marking is idempotent and each object is claimed by
+// exactly one successful CAS, so the resulting mark set, WordsMarked, and
+// ObjectsMarked are bit-identical to the sequential drain for every worker
+// count — only the order in which objects are visited differs.
+
+// markWorker is one worker's persistent drain state.
+type markWorker struct {
+	stack []Word
+	words uint64
+	objs  int
+}
+
+// parMark is the Marker's persistent parallel machinery, created on first
+// use and reused across collections so steady-state drains at workers=1
+// allocate nothing.
+type parMark struct {
+	queue parQueue
+	ws    []markWorker
+}
+
+// drainParallel distributes the current mark stack over workers and blocks
+// until the trace is complete. workers == 1 runs the worker loop inline.
+func (m *Marker) drainParallel(workers int) {
+	if m.par == nil {
+		m.par = &parMark{}
+	}
+	p := m.par
+	for len(p.ws) < workers {
+		p.ws = append(p.ws, markWorker{})
+	}
+	for i := 0; i < workers; i++ {
+		p.ws[i].words, p.ws[i].objs = 0, 0
+	}
+	// No spaces are created during a mark, so one snapshot serves the whole
+	// drain; workers index it without the sequential path's lazy refresh.
+	m.spaces = m.H.Spaces
+
+	if workers == 1 {
+		// Solo configuration: the parallel algorithm inline on the caller,
+		// with no goroutines and — since nothing races — no atomics.
+		w0 := &p.ws[0]
+		w0.stack, m.stack = m.stack, w0.stack[:0]
+		m.markWorkerLoopSolo(w0)
+	} else {
+		p.queue.reset(workers)
+		p.queue.buf = append(p.queue.buf, m.stack...)
+		m.stack = m.stack[:0]
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			ws := &p.ws[i]
+			labels := m.H.workerLabels(i)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				pprof.Do(context.Background(), labels, func(context.Context) {
+					m.markWorkerLoop(ws, &p.queue)
+				})
+			}()
+		}
+		wg.Wait()
+	}
+	for i := 0; i < workers; i++ {
+		m.WordsMarked += p.ws[i].words
+		m.ObjectsMarked += p.ws[i].objs
+	}
+}
+
+// markWorkerLoop is one worker's drain: pop a marked gray object, scan its
+// payload, CAS-claim unmarked children. With q == nil it runs the whole
+// stack inline (the workers=1 configuration).
+//
+// Header words are only ever read atomically here and only ever written by
+// a successful CAS: during the mark phase the single possible transition is
+// unmarked -> marked, so a failed CAS means another worker claimed the
+// object and it is skipped. Payload words are never written by anyone, so
+// plain loads suffice.
+func (m *Marker) markWorkerLoop(ws *markWorker, q *parQueue) {
+	local := ws.stack
+	spaces := m.spaces
+	bounded := m.bounded
+	region := &m.region
+	extra := m.H.extraWords
+	for {
+		if len(local) == 0 {
+			if q == nil {
+				break
+			}
+			var ok bool
+			local, ok = q.take(local, parTakeBatch)
+			if !ok {
+				break
+			}
+		}
+		w := local[len(local)-1]
+		local = local[:len(local)-1]
+		mem := spaces[PtrSpace(w)].Mem
+		off := PtrOff(w)
+		hdr := loadWord(&mem[off])
+		if RawPayload(HeaderType(hdr)) {
+			continue
+		}
+		for si, end := off+1+extra, off+ObjWords(hdr); si < end; si++ {
+			v := mem[si]
+			if !IsPtr(v) {
+				continue
+			}
+			vid := PtrSpace(v)
+			if bounded && !region.Has(vid) {
+				continue
+			}
+			vmem := spaces[vid].Mem
+			voff := PtrOff(v)
+			vhdr := loadWord(&vmem[voff])
+			if Marked(vhdr) {
+				continue
+			}
+			if !casWord(&vmem[voff], vhdr, SetMark(vhdr)) {
+				continue // lost the claim: the winner counted and queued it
+			}
+			ws.words += uint64(ObjWords(vhdr))
+			ws.objs++
+			local = append(local, v)
+		}
+		if q != nil && len(local) >= parSpillHigh {
+			half := len(local) / 2
+			q.put(local[:half])
+			n := copy(local, local[half:])
+			local = local[:n]
+		}
+	}
+	ws.stack = local[:0]
+}
+
+// markWorkerLoopSolo is markWorkerLoop for the single-worker configuration:
+// the same local-stack drain over the same state, but with plain header
+// accesses — one worker cannot race itself, and the atomic protocol is the
+// difference between parity with the sequential engine and a 2x tax.
+func (m *Marker) markWorkerLoopSolo(ws *markWorker) {
+	local := ws.stack
+	spaces := m.spaces
+	bounded := m.bounded
+	region := &m.region
+	extra := m.H.extraWords
+	for len(local) > 0 {
+		w := local[len(local)-1]
+		local = local[:len(local)-1]
+		mem := spaces[PtrSpace(w)].Mem
+		off := PtrOff(w)
+		hdr := mem[off]
+		if RawPayload(HeaderType(hdr)) {
+			continue
+		}
+		for si, end := off+1+extra, off+ObjWords(hdr); si < end; si++ {
+			v := mem[si]
+			if !IsPtr(v) {
+				continue
+			}
+			vid := PtrSpace(v)
+			if bounded && !region.Has(vid) {
+				continue
+			}
+			vmem := spaces[vid].Mem
+			voff := PtrOff(v)
+			vhdr := vmem[voff]
+			if Marked(vhdr) {
+				continue
+			}
+			vmem[voff] = SetMark(vhdr)
+			ws.words += uint64(ObjWords(vhdr))
+			ws.objs++
+			local = append(local, v)
+		}
+	}
+	ws.stack = local[:0]
+}
+
+// workerLabels builds the pprof label set a tracing worker goroutine runs
+// under, so profiles attribute parallel GC samples to a worker index and
+// the collector that owns the heap.
+func (h *Heap) workerLabels(i int) pprof.LabelSet {
+	name := h.collectorLabel
+	if name == "" {
+		name = "none"
+	}
+	return pprof.Labels("gc-worker", strconv.Itoa(i), "collector", name)
+}

@@ -9,6 +9,14 @@ package heap
 // The backing array grows on Add and is retained across Clear, so re-arming
 // a set between collections allocates nothing once it has covered the
 // heap's largest SpaceID.
+//
+// Concurrency contract: a SpaceSet is configure-then-drain immutable. All
+// mutation (Add/AddSpace/Remove/Clear — and therefore SetFrom/SetRegion on
+// the engines) happens on one goroutine before a drain begins; during a
+// parallel drain the set is only read, and Has/HasPtr are pure loads with
+// no internal state, so any number of tracing workers may consult it
+// concurrently. Spaces created mid-drain (Overflow) have IDs beyond the
+// backing array and are safely reported absent by the bounds check.
 type SpaceSet struct {
 	bits []uint64
 }

@@ -19,10 +19,12 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -69,6 +71,11 @@ type Options struct {
 	// ("[3/12] name  42ms"). Drivers pass os.Stderr so stdout stays
 	// byte-identical across worker counts.
 	Progress io.Writer
+	// GCWorkersPerCell is the number of parallel tracing workers each
+	// cell's heap will spawn (the driver's -gcworkers). Run clamps the
+	// pool so cells × gcworkers never oversubscribes GOMAXPROCS; see
+	// ClampedWorkers for the precedence rule.
+	GCWorkersPerCell int
 }
 
 // DefaultWorkers returns GOMAXPROCS, overridden by the RDGC_PARALLEL
@@ -82,14 +89,34 @@ func DefaultWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// ClampedWorkers resolves the cell-pool size when each cell's heap itself
+// spawns gcPerCell tracing workers. The precedence rule (documented in
+// README/DESIGN): -gcworkers wins — the requested cell count is reduced so
+// that cells × gcworkers <= GOMAXPROCS, with a floor of one cell. A
+// requested count < 1 means DefaultWorkers(). gcPerCell <= 1 (sequential
+// tracing, or the inline workers=1 engine) leaves the request untouched.
+func ClampedWorkers(requested, gcPerCell int) int {
+	if requested < 1 {
+		requested = DefaultWorkers()
+	}
+	if gcPerCell <= 1 {
+		return requested
+	}
+	max := runtime.GOMAXPROCS(0) / gcPerCell
+	if max < 1 {
+		max = 1
+	}
+	if requested > max {
+		return max
+	}
+	return requested
+}
+
 // Run executes every spec on a pool of opts.Workers goroutines and returns
 // the results indexed exactly like specs. It only returns once every cell
 // has finished.
 func Run[T any](specs []Spec[T], opts Options) []Result[T] {
-	workers := opts.Workers
-	if workers < 1 {
-		workers = DefaultWorkers()
-	}
+	workers := ClampedWorkers(opts.Workers, opts.GCWorkersPerCell)
 	if workers > len(specs) {
 		workers = len(specs)
 	}
@@ -107,7 +134,12 @@ func Run[T any](specs []Spec[T], opts Options) []Result[T] {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = runCell(specs[i], i)
+				// The cell label is inherited by any goroutines the cell
+				// spawns (notably parallel tracing workers), so profiles
+				// attribute every sample to its experiment cell.
+				pprof.Do(context.Background(), pprof.Labels("cell", specs[i].Name), func(context.Context) {
+					results[i] = runCell(specs[i], i)
+				})
 				if opts.Progress != nil {
 					mu.Lock()
 					done++

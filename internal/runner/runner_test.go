@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -147,5 +148,73 @@ func TestWordsPerSec(t *testing.T) {
 	}
 	if (Result[int]{}).WordsPerSec() != 0 {
 		t.Fatal("zero-work cell must report 0 words/sec")
+	}
+}
+
+func TestClampedWorkers(t *testing.T) {
+	maxprocs := runtime.GOMAXPROCS(0)
+	cases := []struct {
+		requested, gcPerCell, want int
+	}{
+		// Sequential tracing (or the inline workers=1 engine) leaves the
+		// requested pool untouched.
+		{4, 0, 4},
+		{4, 1, 4},
+		// -gcworkers wins: the pool shrinks so cells x gcworkers stays
+		// within GOMAXPROCS, floored at one cell.
+		{maxprocs, 2, maxInt(maxprocs/2, 1)},
+		{maxprocs, maxprocs, 1},
+		{maxprocs, 10 * maxprocs, 1},
+		// A request already within budget is untouched.
+		{1, 2, 1},
+	}
+	for _, c := range cases {
+		if got := ClampedWorkers(c.requested, c.gcPerCell); got != c.want {
+			t.Errorf("ClampedWorkers(%d, %d) = %d, want %d", c.requested, c.gcPerCell, got, c.want)
+		}
+	}
+	// requested < 1 defers to DefaultWorkers, then clamps.
+	if got := ClampedWorkers(0, 1); got != DefaultWorkers() {
+		t.Errorf("ClampedWorkers(0, 1) = %d, want DefaultWorkers() = %d", got, DefaultWorkers())
+	}
+	if got := ClampedWorkers(0, 10*maxprocs); got != 1 {
+		t.Errorf("ClampedWorkers(0, huge) = %d, want 1", got)
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestRunClampsOversubscription(t *testing.T) {
+	// With gcworkers > GOMAXPROCS the pool must collapse to one concurrent
+	// cell. Observe the high-water mark of concurrently running cells.
+	var mu sync.Mutex
+	running, peak := 0, 0
+	specs := make([]Spec[int], 8)
+	for i := range specs {
+		specs[i] = Spec[int]{
+			Name: "cell",
+			Run: func() (int, error) {
+				mu.Lock()
+				running++
+				if running > peak {
+					peak = running
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+				mu.Lock()
+				running--
+				mu.Unlock()
+				return 0, nil
+			},
+		}
+	}
+	Run(specs, Options{Workers: 8, GCWorkersPerCell: 2 * runtime.GOMAXPROCS(0)})
+	if peak != 1 {
+		t.Fatalf("peak concurrent cells = %d, want 1 when gcworkers consumes GOMAXPROCS", peak)
 	}
 }
