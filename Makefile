@@ -2,8 +2,8 @@
 # conformance pass that backs the parallel experiment runner.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR5.json
-BENCH_BASE ?= BENCH_PR4.json
+BENCH_OUT ?= BENCH_PR6.json
+BENCH_BASE ?= BENCH_PR5.json
 BENCH_NOW ?= /tmp/rdgc-bench-now.json
 FUZZTIME ?= 30s
 
@@ -36,7 +36,7 @@ traces:
 
 # bench runs the Go microbenchmarks, then measures the tracing engines and
 # the full collector grid and writes the machine-readable report (the file
-# checked in as BENCH_PR5.json), after the workers=1 parity smoke.
+# checked in as BENCH_PR6.json), after the workers=1 parity smoke.
 bench:
 	$(GO) run ./cmd/benchreport -smoke
 	$(GO) test -bench=. -benchmem ./...

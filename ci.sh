@@ -27,16 +27,19 @@ check_cover() {
     fi
     echo "coverage $1: $pct% (floor $2%)"
 }
-check_cover ./internal/heap 82
+check_cover ./internal/heap 84
 check_cover ./internal/remset 96
 check_cover ./internal/trace 85
 
-# Parallel tracing: the conformance suite (which parameterizes worker
-# counts itself) and the heap engines re-run under the race detector with
-# RDGC_GC_WORKERS pinned to 4 for the env-sensitive paths, then the
-# workers=1 parity smoke (the parallel engines must stay within noise of
-# the sequential ones).
-RDGC_GC_WORKERS=4 go test -race -count=1 ./internal/heap ./internal/gc/conformance
+# Parallel tracing and sweeping: the conformance suite (which parameterizes
+# worker counts itself) and the heap engines re-run under the race detector
+# with RDGC_GC_WORKERS pinned to 4 for the env-sensitive paths — including
+# the mark/sweep collector, whose sweep phase claims blocks concurrently at
+# that setting — then again with per-worker allocation buffers switched on,
+# and finally the workers=1 parity smoke (the parallel engines must stay
+# within noise of the sequential ones).
+RDGC_GC_WORKERS=4 go test -race -count=1 ./internal/heap ./internal/gc/conformance ./internal/gc/marksweep
+RDGC_GC_WORKERS=4 RDGC_GC_LAB=1 go test -race -count=1 ./internal/gc/marksweep ./internal/gc/gcfuzz
 go run ./cmd/benchreport -smoke
 
 # Trace smoke: record a small benchmark once, then replay the trace under
@@ -51,5 +54,7 @@ go run ./cmd/gctrace stat "$trace_tmp/lattice.trace" > /dev/null
 # Fuzz smoke: a bounded mutation run of the cross-collector byte-program
 # harness (the seed corpus replays first), under the race detector with the
 # parallel tracing engines at four workers so every fuzz input also drives
-# the concurrent drains. Real campaigns: make fuzz.
+# the concurrent drains — and, with RDGC_GC_LAB=1, the buffered evacuation
+# path and the four-worker block sweep. Real campaigns: make fuzz.
 RDGC_GC_WORKERS=4 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz
+RDGC_GC_WORKERS=4 RDGC_GC_LAB=1 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz

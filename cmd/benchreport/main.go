@@ -1,8 +1,9 @@
 // Command benchreport measures the repository's tracing hot paths and
-// emits a machine-readable perf baseline (BENCH_PR2.json): ns/op for the
-// engine microbenchmarks (a steady-state Cheney flip and a steady-state
-// mark cycle) and words-traced/sec for every collector on the radioactive
-// decay workload. `make bench` runs it; `make bench-compare` diffs the two
+// emits a machine-readable perf baseline (BENCH_*.json): ns/op for the
+// engine microbenchmarks (a steady-state Cheney flip, a steady-state mark
+// cycle, and the bitmap-vs-header mark representations), engine-scaling and
+// sweep-phase rows at each worker count, and words-traced/sec for every
+// collector on the radioactive decay workload. `make bench` runs it; `make bench-compare` diffs the two
 // most recent BENCH_*.json files.
 //
 // With -before FILE, the report written to -out embeds FILE as the "before"
@@ -264,6 +265,131 @@ func parallelBenchmarks(workerCounts []int) []ParallelResult {
 	return out
 }
 
+// sweepArenaWords sizes the parallel-sweep fixture: a half-megaword blocked
+// space (512 blocks) filled with 4-word objects, every other object marked,
+// so each op sweeps the whole space with a realistic survivor density.
+const sweepArenaWords = 1 << 18
+
+// sweepBenchmarks measures the block-claiming sweep engine at each worker
+// count: words-swept/sec over the blocked fixture. Workers == 0 is the
+// sequential control; because sweepBlock is a pure per-block function, every
+// row does bit-identical work.
+func sweepBenchmarks(workerCounts []int) []ParallelResult {
+	var out []ParallelResult
+	for _, workers := range workerCounts {
+		workers := workers
+		r := bestOf(3, func(b *testing.B) {
+			h := heap.New()
+			s := h.NewBlockedSpace("sweep-arena", sweepArenaWords)
+			var offs []int
+			for blk := 0; blk < s.NumBlocks(); blk++ {
+				for {
+					off, ok := s.AllocFromBlock(blk, 4)
+					if !ok {
+						break
+					}
+					s.Mem[off] = heap.HeaderWord(heap.TVector, 3)
+					offs = append(offs, off)
+				}
+			}
+			h.SetGCWorkers(workers)
+			sw := heap.NewSweeper(h)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < len(offs); j += 2 {
+					s.SetMarkAt(offs[j])
+				}
+				sw.Sweep(s)
+			}
+		})
+		ns := float64(r.NsPerOp())
+		out = append(out, ParallelResult{
+			Engine:      "sweep",
+			GCWorkers:   workers,
+			NsPerOp:     ns,
+			WordsPerOp:  sweepArenaWords,
+			WordsPerSec: float64(sweepArenaWords) / ns * 1e9,
+		})
+	}
+	return out
+}
+
+// markBitBenchmarks compares the two mark representations on the same
+// object set: the side bitmap (a bit probe per test, a per-block memclr to
+// unmark) against the historical header bits (a header rewrite per mark and
+// per unmark). Each op is one full mark-test-clear cycle over every object.
+func markBitBenchmarks() []EngineResult {
+	const objWords = 4
+	mkFixture := func() (*heap.Heap, *heap.Space, []int) {
+		h := heap.New()
+		s := h.NewBlockedSpace("markbits", 1<<16)
+		var offs []int
+		for blk := 0; blk < s.NumBlocks(); blk++ {
+			for {
+				off, ok := s.AllocFromBlock(blk, objWords)
+				if !ok {
+					break
+				}
+				s.Mem[off] = heap.HeaderWord(heap.TVector, objWords-1)
+				offs = append(offs, off)
+			}
+		}
+		return h, s, offs
+	}
+	_, s0, offs0 := mkFixture()
+	words := uint64(len(offs0))
+
+	bitmap := bestOf(3, func(b *testing.B) {
+		s, offs := s0, offs0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			live := 0
+			for _, off := range offs {
+				if !s.MarkedAt(off) {
+					s.SetMarkAt(off)
+					live++
+				}
+			}
+			heap.ClearMarks(s)
+			if live != len(offs) {
+				b.Fatal("bitmap marks did not clear")
+			}
+		}
+	})
+	header := bestOf(3, func(b *testing.B) {
+		s, offs := s0, offs0
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			live := 0
+			for _, off := range offs {
+				if !heap.Marked(s.Mem[off]) {
+					s.Mem[off] = heap.SetMark(s.Mem[off])
+					live++
+				}
+			}
+			for _, off := range offs {
+				s.Mem[off] = heap.ClearMark(s.Mem[off])
+			}
+			if live != len(offs) {
+				b.Fatal("header marks did not clear")
+			}
+		}
+	})
+
+	mk := func(name string, r testing.BenchmarkResult) EngineResult {
+		ns := float64(r.NsPerOp())
+		return EngineResult{
+			Name:        name,
+			NsPerOp:     ns,
+			WordsPerOp:  words, // objects tested+marked+cleared per op
+			WordsPerSec: float64(words) / ns * 1e9,
+		}
+	}
+	return []EngineResult{mk("mark-bits-bitmap", bitmap), mk("mark-bits-header", header)}
+}
+
 // collectorGrid times every collector tracing the decay workload, sized as
 // internal/experiments sizes them (h=768, L=3.5, g=0.25, k=16), with the
 // heap configured for gcWorkers tracing workers (0 = sequential engines).
@@ -459,12 +585,14 @@ func run() *Report {
 	for _, w := range []int{1, 2, 4, 8} {
 		collectors = append(collectors, collectorGrid(w)...)
 	}
+	parallel := parallelBenchmarks([]int{0, 1, 2, 4, 8})
+	parallel = append(parallel, sweepBenchmarks([]int{0, 1, 2, 4, 8})...)
 	return &Report{
-		Schema:     "rdgc-bench/3",
+		Schema:     "rdgc-bench/4",
 		GoVersion:  runtime.Version(),
 		CPUs:       runtime.GOMAXPROCS(0),
-		Engines:    engineBenchmarks(),
-		Parallel:   parallelBenchmarks([]int{0, 1, 2, 4, 8}),
+		Engines:    append(engineBenchmarks(), markBitBenchmarks()...),
+		Parallel:   parallel,
 		Collectors: collectors,
 		Traces:     traceBenchmarks(),
 	}
@@ -563,12 +691,13 @@ func compare(pathA, pathB string) error {
 func smoke() error {
 	const maxRatio = 1.75
 	rows := parallelBenchmarks([]int{0, 1})
+	rows = append(rows, sweepBenchmarks([]int{0, 1})...)
 	byKey := make(map[string]ParallelResult)
 	for _, r := range rows {
 		byKey[fmt.Sprintf("%s/%d", r.Engine, r.GCWorkers)] = r
 	}
 	var failed bool
-	for _, engine := range []string{"mark", "evacuate"} {
+	for _, engine := range []string{"mark", "evacuate", "sweep"} {
 		seq, par := byKey[engine+"/0"], byKey[engine+"/1"]
 		ratio := par.NsPerOp / seq.NsPerOp
 		fmt.Printf("smoke: %-9s sequential %.0f ns/op, workers=1 parallel %.0f ns/op (%.2fx)\n",

@@ -45,6 +45,7 @@ func main() {
 	withHybrid := flag.Bool("hybrid", false, "also measure the hybrid (non-predictive) collector")
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
 	gcworkers := flag.Int("gcworkers", -1, "parallel tracing workers per heap (0 = sequential engines; -1 = $RDGC_GC_WORKERS)")
+	gclab := flag.Bool("gclab", heap.GCLABFromEnv(), "per-worker allocation buffers during parallel evacuation (default $RDGC_GC_LAB)")
 	progress := flag.Bool("progress", false, "report per-cell completion and wall-clock to stderr")
 	jsonOut := flag.Bool("json", false, "emit per-cell measurements as JSON instead of the table")
 	record := flag.String("record", "", "also record each benchmark as an allocation-event trace into `dir` (see cmd/gctrace)")
@@ -65,6 +66,7 @@ func main() {
 	}
 	gw := heap.ResolveGCWorkers(*gcworkers)
 	heap.SetDefaultGCWorkers(gw)
+	heap.SetDefaultGCLAB(*gclab)
 	// run holds the early-returning body so the profile teardown below
 	// covers every exit path.
 	run(*table2, *quick, *withHybrid, *parallel, gw, *progress, *jsonOut, *record)
@@ -191,9 +193,12 @@ type jsonCell struct {
 	RemsetPeak    int     `json:"remset_peak"`
 	PeakWords     int     `json:"peak_words"`
 	SemiWords     int     `json:"semi_words"`
-	WallNS        int64   `json:"wall_ns"`
-	WordsPerSec   float64 `json:"words_per_sec"`
-	Error         string  `json:"error,omitempty"`
+	// FootprintWords is the run's maximum reserved footprint: blocks
+	// reserved across every space times heap.BlockWords.
+	FootprintWords int     `json:"footprint_words"`
+	WallNS         int64   `json:"wall_ns"`
+	WordsPerSec    float64 `json:"words_per_sec"`
+	Error          string  `json:"error,omitempty"`
 }
 
 func emitJSON(results []runner.Result[rowResult], withHybrid bool) {
@@ -206,18 +211,19 @@ func emitJSON(results []runner.Result[rowResult], withHybrid bool) {
 		row := r.Value.row
 		add := func(res bench.RunResult) {
 			c := jsonCell{
-				Program:       row.Program,
-				Collector:     res.Collector,
-				AllocWords:    res.WordsAllocated,
-				GCWorkWords:   res.GCWorkWords,
-				MarkCons:      res.GCMutatorRatio(),
-				Collections:   res.Collections,
-				MaxPauseWords: res.MaxPauseWords,
-				RemsetPeak:    res.RemsetPeak,
-				PeakWords:     row.PeakWords,
-				SemiWords:     row.SemiWords,
-				WallNS:        r.Wall.Nanoseconds(),
-				WordsPerSec:   r.WordsPerSec(),
+				Program:        row.Program,
+				Collector:      res.Collector,
+				AllocWords:     res.WordsAllocated,
+				GCWorkWords:    res.GCWorkWords,
+				MarkCons:       res.GCMutatorRatio(),
+				Collections:    res.Collections,
+				MaxPauseWords:  res.MaxPauseWords,
+				RemsetPeak:     res.RemsetPeak,
+				PeakWords:      row.PeakWords,
+				SemiWords:      row.SemiWords,
+				FootprintWords: res.FootprintWords,
+				WallNS:         r.Wall.Nanoseconds(),
+				WordsPerSec:    r.WordsPerSec(),
 			}
 			if res.Err != nil {
 				c.Error = res.Err.Error()

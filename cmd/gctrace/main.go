@@ -187,10 +187,12 @@ func cmdReplay(args []string) error {
 	verify := fs.Bool("verify", false, "run the deep heap-invariant verifier after every collection")
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
 	gcworkers := fs.Int("gcworkers", -1, "parallel tracing workers per heap (0 = sequential engines; -1 = $RDGC_GC_WORKERS); marking parallelizes, evacuation stays sequential under the replayer's move hook")
+	gclab := fs.Bool("gclab", heap.GCLABFromEnv(), "per-worker allocation buffers during parallel evacuation (default $RDGC_GC_LAB)")
 	progress := fs.Bool("progress", false, "report per-cell completion and wall-clock to stderr")
 	fs.Parse(args)
 	gw := heap.ResolveGCWorkers(*gcworkers)
 	heap.SetDefaultGCWorkers(gw)
+	heap.SetDefaultGCLAB(*gclab)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay needs exactly one trace file")
 	}

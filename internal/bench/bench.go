@@ -43,6 +43,11 @@ type RunResult struct {
 	Collector      string
 	WordsAllocated uint64
 	PeakLiveWords  int
+	// FootprintWords is the heap's reserved footprint at the end of the run
+	// (blocks reserved across every space times the block size): the memory
+	// a real process would hold from the OS, as opposed to occupancy. Spaces
+	// are never released, so the final footprint is also the maximum.
+	FootprintWords int
 	GCWorkWords    uint64
 	Collections    int
 	MaxPauseWords  uint64
@@ -87,6 +92,7 @@ func Measure(p Program, h *heap.Heap, c heap.Collector) RunResult {
 		Collector:      c.Name(),
 		WordsAllocated: h.Stats.WordsAllocated,
 		PeakLiveWords:  peak,
+		FootprintWords: h.FootprintWords(),
 		GCWorkWords:    g.WordsCopied + g.WordsMarked + uint64(SweepDiscount*float64(g.WordsSwept)),
 		Collections:    g.Collections,
 		MaxPauseWords:  g.MaxPauseWords,

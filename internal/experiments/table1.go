@@ -66,13 +66,15 @@ func liveByStep(h *heap.Heap, st *core.Steps) []int {
 	for p := 0; p < st.K(); p++ {
 		s := st.Step(p)
 		heap.WalkSpace(s, func(off int, hdr heap.Word) bool {
-			if heap.Marked(hdr) {
+			if s.MarkedAt(off) {
 				out[p]++
-				s.Mem[off] = heap.ClearMark(hdr)
 			}
 			return true
 		})
 	}
+	// The global trace marked every reachable object, including ones outside
+	// the steps (statics); clear all bitmaps so later collections verify.
+	heap.ClearMarks(h.Spaces...)
 	return out
 }
 

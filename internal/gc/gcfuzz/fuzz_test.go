@@ -9,6 +9,15 @@ import (
 	"rdgc/internal/heap"
 )
 
+// TestMain seeds the allocation-buffer default from the environment, the
+// way the drivers do, so CI's RDGC_GC_LAB=1 fuzz pass drives the buffered
+// evacuation path on every heap the harness builds. (Worker counts flow
+// through fuzzGCWorkers instead, which lets the fuzzer explore them.)
+func TestMain(m *testing.M) {
+	heap.SetDefaultGCLAB(heap.GCLABFromEnv())
+	os.Exit(m.Run())
+}
+
 // seedPrograms are the hand-written corpus: each stresses a different slice
 // of the op space. The same programs are checked in under
 // testdata/fuzz/FuzzCollectors (regenerate with `go test -run TestWriteSeedCorpus

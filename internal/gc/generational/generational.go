@@ -188,7 +188,7 @@ func (c *Collector) major(need int) {
 		// Worst case: everything currently allocated survives.
 		worst := c.oldFrom.Used() + c.nursery.Used() + need
 		if worst > c.oldTo.Cap() {
-			c.oldTo.Mem = make([]heap.Word, worst)
+			c.oldTo.Resize(worst)
 		}
 	}
 	e := c.evac
@@ -211,7 +211,7 @@ func (c *Collector) major(need int) {
 		live := c.oldFrom.Used()
 		want := int(float64(live)*c.expand) + need
 		if want > c.oldTo.Cap() {
-			c.oldTo.Mem = make([]heap.Word, want)
+			c.oldTo.Resize(want)
 		}
 		if want > c.oldFrom.Cap() {
 			// Grow the active space too: copy once more into the (bigger)
@@ -220,7 +220,7 @@ func (c *Collector) major(need int) {
 			e.Begin(c.oldTo)
 			e.Run()
 			c.oldFrom.Reset()
-			c.oldFrom.Mem = make([]heap.Word, want)
+			c.oldFrom.Resize(want)
 			c.oldFrom, c.oldTo = c.oldTo, c.oldFrom
 		}
 	}

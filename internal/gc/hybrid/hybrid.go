@@ -347,6 +347,12 @@ func (c *Collector) pointsInto(obj heap.Word, in func(heap.Word) bool) bool {
 func (c *Collector) scanPromoted(s *heap.Space, from int) {
 	for off := from; off < s.Top; {
 		hdr := s.Mem[off]
+		if heap.HeaderType(hdr) == heap.TFree {
+			// Allocation-buffer filler left by a parallel copy: dead space,
+			// nothing to remember.
+			off += heap.ObjWords(hdr)
+			continue
+		}
 		found := false
 		heap.ScanObject(s, off, func(slot *heap.Word) {
 			if !found && heap.IsPtr(*slot) && c.st.InOld(*slot) {

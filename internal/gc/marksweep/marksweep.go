@@ -2,10 +2,18 @@
 // against which the paper states its headline comparison: its mark/cons
 // ratio under the radioactive decay model is 1/(L-1) (Section 5).
 //
-// Each managed space is kept linearly parsable: free storage is covered by
-// TFree blocks threaded onto an address-ordered first-fit free list, and
-// sweep coalesces adjacent free blocks. Because objects never move, the
-// heap grows by adding spaces.
+// Each managed space is block-structured (heap.NewBlockedSpace): no object
+// straddles a heap.BlockWords boundary, and each block carries its own
+// address-ordered first-fit free list. Marking records liveness in the spaces' side bitmaps, and the
+// sweep — heap.Sweeper, which parallelizes over blocks when the heap is
+// configured with tracing workers — rebuilds the per-block free lists with
+// coalescing and clears the bitmaps per block.
+//
+// Objects whose footprint exceeds heap.LargeObjectWords cannot share a
+// block fairly and go to a segregated large-object space instead: one space
+// per object, never copied, reclaimed whole when the object dies.
+//
+// Because objects never move, the blocked heap grows by adding spaces.
 package marksweep
 
 import (
@@ -14,21 +22,29 @@ import (
 	"rdgc/internal/heap"
 )
 
-const noBlock = -1
-
-// Collector is a mark/sweep collector over one or more spaces.
+// Collector is a mark/sweep collector over one or more blocked spaces plus a
+// large-object space.
 type Collector struct {
 	h      *heap.Heap
 	spaces []*heap.Space
-	// freeHead[i] is the offset of the first free block in spaces[i]; free
-	// blocks chain through payload word 0 (a fixnum offset, noBlock ends).
-	freeHead []int
-	inHeap   []bool // indexed by SpaceID
-	stats    heap.GCStats
+	// hint[i] is the first block of spaces[i] that might still have free
+	// storage. Within a mutator phase a block's free list only shrinks, so
+	// once a block's list empties every later request can skip it; sweep
+	// refills lists and resets the hints. Skipping only completely full
+	// blocks keeps placement identical to a plain first-fit scan.
+	hint []int
+	los  *heap.LargeObjectSpace
 
-	// marker is the persistent tracing engine, re-armed per collection so
-	// steady-state collections allocate nothing.
-	marker *heap.Marker
+	stats heap.GCStats
+
+	// marker and sweeper are the persistent tracing and sweeping engines,
+	// re-armed per collection so steady-state collections allocate nothing.
+	marker  *heap.Marker
+	sweeper *heap.Sweeper
+
+	// liveBuf is reusable scratch for region and verify lists that append
+	// the live large-object spaces to the blocked ones.
+	liveBuf []*heap.Space
 
 	expand float64
 }
@@ -46,10 +62,15 @@ func WithExpansion(invLoad float64) Option {
 	return func(c *Collector) { c.expand = invLoad }
 }
 
-// New creates a mark/sweep collector with an initial space of the given
-// size and installs it as h's allocator.
+// New creates a mark/sweep collector with an initial blocked space of the
+// given size and installs it as h's allocator.
 func New(h *heap.Heap, words int, opts ...Option) *Collector {
-	c := &Collector{h: h, marker: heap.NewMarker(h, nil)}
+	c := &Collector{
+		h:       h,
+		marker:  heap.NewMarker(h, nil),
+		sweeper: heap.NewSweeper(h),
+		los:     heap.NewLargeObjectSpace(h, "markswept"),
+	}
 	for _, o := range opts {
 		o(c)
 	}
@@ -59,16 +80,9 @@ func New(h *heap.Heap, words int, opts ...Option) *Collector {
 }
 
 func (c *Collector) addSpace(words int) {
-	s := c.h.NewSpace(fmt.Sprintf("markswept-%d", len(c.spaces)), words)
-	s.Top = s.Cap()
-	s.Mem[0] = heap.HeaderWord(heap.TFree, s.Cap()-1)
-	s.Mem[1] = heap.FixnumWord(noBlock)
+	s := c.h.NewBlockedSpace(fmt.Sprintf("markswept-%d", len(c.spaces)), words)
 	c.spaces = append(c.spaces, s)
-	c.freeHead = append(c.freeHead, 0)
-	for int(s.ID) >= len(c.inHeap) {
-		c.inHeap = append(c.inHeap, false)
-	}
-	c.inHeap[s.ID] = true
+	c.hint = append(c.hint, 0)
 }
 
 // Name implements heap.Collector.
@@ -77,23 +91,28 @@ func (c *Collector) Name() string { return "mark/sweep" }
 // GCStats implements heap.Collector.
 func (c *Collector) GCStats() *heap.GCStats { return &c.stats }
 
-// Live returns the words occupied by non-free blocks.
+// Live returns the words occupied by non-free blocks, including live large
+// objects.
 func (c *Collector) Live() int {
 	n := 0
 	for _, s := range c.spaces {
 		n += heap.LiveWords(s)
 	}
-	return n
+	return n + c.los.LiveWords()
 }
 
-// VerifySpec implements heap.Verifiable: every managed space is live (the
-// collector never moves objects, so there is no scratch space), and there
-// is no remembered set.
+// VerifySpec implements heap.Verifiable: every blocked space and every live
+// large-object space is live (the collector never moves objects). Pooled
+// large-object spaces are scratch and deliberately absent. There is no
+// remembered set.
 func (c *Collector) VerifySpec() heap.VerifySpec {
-	return heap.VerifySpec{Live: c.spaces}
+	c.liveBuf = c.los.AppendLive(append(c.liveBuf[:0], c.spaces...))
+	return heap.VerifySpec{Live: c.liveBuf}
 }
 
-// HeapWords returns the total capacity of the managed spaces.
+// HeapWords returns the total capacity of the blocked spaces. Large-object
+// spaces size themselves per object and are excluded: growth policy targets
+// the blocked heap only.
 func (c *Collector) HeapWords() int {
 	n := 0
 	for _, s := range c.spaces {
@@ -105,6 +124,9 @@ func (c *Collector) HeapWords() int {
 // AllocRaw implements heap.Allocator.
 func (c *Collector) AllocRaw(t heap.Type, payload int) heap.Word {
 	total := 1 + payload + c.h.ExtraWords()
+	if total > heap.LargeObjectWords {
+		return c.allocLarge(t, payload, total)
+	}
 	s, off, ok := c.tryAlloc(total)
 	if !ok {
 		c.Collect()
@@ -120,6 +142,18 @@ func (c *Collector) AllocRaw(t heap.Type, payload int) heap.Word {
 	return c.h.InitObject(s, off, t, payload)
 }
 
+// allocLarge places an object in the large-object space: reuse a pooled
+// space if one fits, otherwise collect (which may repopulate the pool), and
+// only then mint a fresh space.
+func (c *Collector) allocLarge(t heap.Type, payload, total int) heap.Word {
+	s, ok := c.los.FromPool(total)
+	if !ok {
+		c.Collect()
+		s = c.los.Alloc(total)
+	}
+	return c.h.InitObject(s, 0, t, payload)
+}
+
 // grow adds a space large enough to restore the target inverse load factor
 // (and in any case to satisfy the pending request).
 func (c *Collector) grow(need int) {
@@ -129,71 +163,38 @@ func (c *Collector) grow(need int) {
 		want = need + 1
 	}
 	if min := c.HeapWords(); want < min {
-		want = min // at least double the heap to amortize growth
+		want = min // at least double the blocked heap to amortize growth
 	}
 	c.addSpace(want)
 }
 
-// tryAlloc finds the first free block of at least n words across all
-// spaces, unlinks it, and returns any remainder to the list in place.
+// tryAlloc finds the first free block of at least n words across all blocked
+// spaces, scanning each space's blocks first-fit from its hint.
 func (c *Collector) tryAlloc(n int) (*heap.Space, int, bool) {
 	for i, s := range c.spaces {
-		if off, ok := c.tryAllocIn(i, s, n); ok {
-			return s, off, true
+		fh := s.Blocks.FreeHead
+		for b := c.hint[i]; b < len(fh); b++ {
+			if fh[b] == heap.NoFreeBlock {
+				if b == c.hint[i] {
+					c.hint[i] = b + 1
+				}
+				continue
+			}
+			if off, ok := s.AllocFromBlock(b, n); ok {
+				return s, off, true
+			}
 		}
 	}
 	return nil, 0, false
 }
 
-func (c *Collector) tryAllocIn(i int, s *heap.Space, n int) (int, bool) {
-	prev := noBlock
-	for off := c.freeHead[i]; off != noBlock; {
-		hdr := s.Mem[off]
-		blockWords := heap.ObjWords(hdr)
-		next := c.nextFree(s, off)
-		if blockWords >= n {
-			replacement := next
-			if rem := blockWords - n; rem > 1 {
-				remOff := off + n
-				s.Mem[remOff] = heap.HeaderWord(heap.TFree, rem-1)
-				c.setNextFree(s, remOff, next)
-				replacement = remOff
-			} else if rem == 1 {
-				// A lone header word cannot hold a list link; leave it as
-				// unlinked-but-parsable dead space until sweep reclaims it.
-				s.Mem[off+n] = heap.HeaderWord(heap.TFree, 0)
-			}
-			if prev == noBlock {
-				c.freeHead[i] = replacement
-			} else {
-				c.setNextFree(s, prev, replacement)
-			}
-			return off, true
-		}
-		prev = off
-		off = next
-	}
-	return 0, false
-}
-
-func (c *Collector) nextFree(s *heap.Space, off int) int {
-	if heap.HeaderSize(s.Mem[off]) == 0 {
-		return noBlock
-	}
-	return int(heap.FixnumVal(s.Mem[off+1]))
-}
-
-func (c *Collector) setNextFree(s *heap.Space, off, next int) {
-	if heap.HeaderSize(s.Mem[off]) > 0 {
-		s.Mem[off+1] = heap.FixnumWord(int64(next))
-	}
-}
-
-// Collect implements heap.Collector: mark from roots, then sweep every
-// space, rebuilding the free lists with coalescing.
+// Collect implements heap.Collector: mark from roots into the side bitmaps,
+// then sweep every blocked space block by block (in parallel when the heap
+// has tracing workers) and probe each large object's mark bit.
 func (c *Collector) Collect() {
 	m := c.marker
-	m.SetRegion(c.spaces...)
+	c.liveBuf = c.los.AppendLive(append(c.liveBuf[:0], c.spaces...))
+	m.SetRegion(c.liveBuf...)
 	m.Begin()
 	m.Run()
 	c.stats.WordsMarked += m.WordsMarked
@@ -201,55 +202,10 @@ func (c *Collector) Collect() {
 	c.stats.MajorCollections++
 	c.stats.AddPause(m.WordsMarked)
 	c.stats.NoteLive(int(m.WordsMarked))
-	for i, s := range c.spaces {
-		c.sweep(i, s)
+	c.stats.WordsSwept += c.sweeper.Sweep(c.spaces...)
+	c.stats.WordsSwept += c.los.Sweep()
+	for i := range c.hint {
+		c.hint[i] = 0
 	}
 	c.h.AfterGC()
-}
-
-// sweep walks one space, clearing marks on survivors and merging dead and
-// free blocks into maximal free blocks linked in address order. Blocks of a
-// single word cannot carry a list link and stay unlinked until coalescing
-// merges them into a neighbour.
-func (c *Collector) sweep(i int, s *heap.Space) {
-	c.freeHead[i] = noBlock
-	tail := noBlock     // last block linked into the free list
-	lastFree := noBlock // trailing free block being coalesced, or noBlock
-	var swept uint64
-	link := func(off int) {
-		if heap.HeaderSize(s.Mem[off]) == 0 {
-			return // 1-word block: leave unlinked
-		}
-		c.setNextFree(s, off, noBlock)
-		if c.freeHead[i] == noBlock {
-			c.freeHead[i] = off
-		} else {
-			c.setNextFree(s, tail, off)
-		}
-		tail = off
-	}
-	heap.WalkSpace(s, func(off int, hdr heap.Word) bool {
-		swept += uint64(heap.ObjWords(hdr))
-		if heap.Marked(hdr) {
-			s.Mem[off] = heap.ClearMark(hdr)
-			lastFree = noBlock
-			return true
-		}
-		n := heap.ObjWords(hdr)
-		if lastFree != noBlock {
-			grown := heap.ObjWords(s.Mem[lastFree]) + n
-			wasUnlinked := heap.HeaderSize(s.Mem[lastFree]) == 0
-			s.Mem[lastFree] = heap.HeaderWord(heap.TFree, grown-1)
-			c.setNextFree(s, lastFree, noBlock)
-			if wasUnlinked {
-				link(lastFree) // growing past 1 word makes it linkable
-			}
-			return true
-		}
-		s.Mem[off] = heap.HeaderWord(heap.TFree, n-1)
-		link(off)
-		lastFree = off
-		return true
-	})
-	c.stats.WordsSwept += swept
 }

@@ -1,11 +1,23 @@
 package marksweep
 
 import (
+	"os"
 	"testing"
 
 	"rdgc/internal/gc/gctest"
 	"rdgc/internal/heap"
 )
+
+// TestMain seeds the parallel-engine defaults from the environment, the
+// same way the drivers do, so CI can re-run this package's whole suite
+// with the 4-worker mark and block sweep under the race detector
+// (RDGC_GC_WORKERS=4): the determinism contract says every test must pass
+// unchanged at any worker count.
+func TestMain(m *testing.M) {
+	heap.SetDefaultGCWorkers(heap.GCWorkersFromEnv())
+	heap.SetDefaultGCLAB(heap.GCLABFromEnv())
+	os.Exit(m.Run())
+}
 
 func TestStress(t *testing.T) {
 	h := heap.New()
@@ -49,9 +61,48 @@ func TestFreeListCoalescing(t *testing.T) {
 
 	s2 := h.Scope()
 	defer s2.Close()
-	v := h.MakeVector(1000, h.Null()) // needs one contiguous 1001-word block
-	if h.VectorLen(v) != 1000 {
-		t.Fatal("large vector allocation failed after coalescing")
+	// Below the large-object threshold: needs one contiguous run inside a
+	// block, which only exists if the dead pairs coalesced.
+	v := h.MakeVector(200, h.Null())
+	if h.VectorLen(v) != 200 {
+		t.Fatal("block-sized vector allocation failed after coalescing")
+	}
+	// Above the threshold: routed to the large-object space.
+	big := h.MakeVector(1000, h.Null())
+	if h.VectorLen(big) != 1000 {
+		t.Fatal("large vector allocation failed")
+	}
+	if c.los.LiveObjects() != 1 {
+		t.Errorf("large vector not in the large-object space (live=%d)", c.los.LiveObjects())
+	}
+}
+
+func TestLargeObjectLifecycle(t *testing.T) {
+	h := heap.New()
+	c := New(h, 8192, WithExpansion(2))
+	s := h.Scope()
+	v := h.MakeVector(600, h.Fix(9)) // 601 words: large
+	if got := c.los.LiveObjects(); got != 1 {
+		t.Fatalf("large objects live = %d, want 1", got)
+	}
+	if h.FixVal(h.VectorRef(v, 599)) != 9 {
+		t.Fatal("large vector contents wrong")
+	}
+	c.Collect() // rooted: survives in place
+	if h.FixVal(h.VectorRef(v, 0)) != 9 || c.los.LiveObjects() != 1 {
+		t.Fatal("large vector did not survive collection")
+	}
+	s.Close()
+	c.Collect() // dropped: space returns to the pool
+	if c.los.LiveObjects() != 0 || c.los.PooledSpaces() == 0 {
+		t.Fatalf("dead large object not pooled: live=%d pool=%d",
+			c.los.LiveObjects(), c.los.PooledSpaces())
+	}
+	s2 := h.Scope()
+	defer s2.Close()
+	h.MakeVector(600, h.Fix(1))
+	if c.los.PooledSpaces() != 0 {
+		t.Error("reallocation did not reuse the pooled space")
 	}
 }
 
@@ -104,7 +155,7 @@ func TestOOMPanicsWithoutExpansion(t *testing.T) {
 		}
 	}()
 	acc := h.Null()
-	for i := 0; i < 100; i++ {
+	for i := 0; i < heap.BlockWords; i++ { // 3 words per pair, all live
 		acc = h.Cons(h.Fix(int64(i)), acc)
 	}
 }

@@ -246,7 +246,7 @@ func (c *Collector) major() {
 			worst += g.Used()
 		}
 		if worst > c.oldTo.Cap() {
-			c.oldTo.Mem = make([]heap.Word, worst)
+			c.oldTo.Resize(worst)
 		}
 	}
 	e := c.evac
@@ -271,14 +271,14 @@ func (c *Collector) major() {
 		live := c.gens[last].Used()
 		want := int(float64(live) * c.expand)
 		if want > c.oldTo.Cap() {
-			c.oldTo.Mem = make([]heap.Word, want)
+			c.oldTo.Resize(want)
 		}
 		if want > c.gens[last].Cap() {
 			e.SetFrom(c.gens[last])
 			e.Begin(c.oldTo)
 			e.Run()
 			c.gens[last].Reset()
-			c.gens[last].Mem = make([]heap.Word, want)
+			c.gens[last].Resize(want)
 			c.gens[last], c.oldTo = c.oldTo, c.gens[last]
 			c.rebuildGenOf()
 		}

@@ -439,8 +439,7 @@ func (c *Collector) sweep(s *heap.Space) int {
 	}
 	heap.WalkSpace(s, func(off int, hdr heap.Word) bool {
 		swept += heap.ObjWords(hdr)
-		if heap.Marked(hdr) {
-			s.Mem[off] = heap.ClearMark(hdr)
+		if heap.HeaderType(hdr) != heap.TFree && s.MarkedAt(off) {
 			lastFree = noBlock
 			return true
 		}
@@ -460,5 +459,6 @@ func (c *Collector) sweep(s *heap.Space) int {
 		lastFree = off
 		return true
 	})
+	heap.ClearMarks(s)
 	return swept
 }

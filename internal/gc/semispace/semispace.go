@@ -114,12 +114,12 @@ func (c *Collector) collect(need int) {
 		}
 		if want > c.from.Cap() {
 			// Grow the empty to-space, copy into it, then grow the other.
-			c.to.Mem = make([]heap.Word, want)
+			c.to.Resize(want)
 			e.SetFrom(c.from)
 			e.Begin(c.to)
 			e.Run()
 			c.from.Reset()
-			c.from.Mem = make([]heap.Word, want)
+			c.from.Resize(want)
 			c.from, c.to = c.to, c.from
 		}
 	}

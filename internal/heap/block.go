@@ -1,0 +1,313 @@
+package heap
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Block-structured heap layer. Every space is viewed as a sequence of
+// fixed-size blocks of BlockWords words, with two pieces of side metadata
+// allocated alongside the arena:
+//
+//   - a mark bitmap (one bit per word): collectors test and set marks here
+//     instead of rewriting header words, so a mark-test is a bit probe, the
+//     parallel mark claim is a CAS on a bitmap word (headers are never
+//     written during a mark), and unmarking is a memclr;
+//   - a per-block dirty summary (one bit per block), set when any word of
+//     the block is marked, so ClearMarks touches only blocks that actually
+//     received marks instead of rescanning every block, live or dead.
+//
+// Mark/sweep-managed spaces additionally opt into a block table
+// (NewBlockedSpace): no object or free block ever straddles a block
+// boundary (the final block may be partial), and each block carries its own
+// address-ordered free list. Block independence is what the
+// parallel sweep (sweep.go) exploits: any worker may sweep any block with no
+// synchronization beyond claiming it.
+//
+// BlockWords is 512 (4 KiB of simulated heap at 8 bytes per word): big
+// enough that per-block metadata (one free-list head, eight bitmap words)
+// stays below 2% overhead and that decay-model objects (a few words each)
+// never feel the no-straddling rule, small enough that a parallel sweep of
+// the conformance heaps has hundreds of independently claimable units.
+const (
+	// BlockShift is log2 of the block size in words.
+	BlockShift = 9
+	// BlockWords is the block size in words.
+	BlockWords = 1 << BlockShift
+	// BlockMask masks a word offset down to its position within a block.
+	BlockMask = BlockWords - 1
+
+	// markWordsPerBlock is the span of one block in the mark bitmap: 64
+	// word-marks per uint64 means blocks and bitmap words never interleave,
+	// so a sweep worker can clear its block's bitmap with plain stores.
+	markWordsPerBlock = BlockWords / 64
+)
+
+// LargeObjectWords is the footprint (header plus payload, in words) above
+// which a collector with a large-object space allocates the object there
+// instead of inside its blocked spaces. Half a block keeps block-internal
+// fragmentation bounded while leaving every smaller request satisfiable by
+// any fully free block.
+const LargeObjectWords = BlockWords / 2
+
+// NoFreeBlock terminates a free list: it is the "next" value of the last
+// free block and the head value of a block (or space) with no free storage.
+const NoFreeBlock = -1
+
+// BlockTable is the per-block metadata of a blocked (mark/sweep-managed)
+// space: one free-list head per block. Free blocks chain through payload
+// word 0 (a fixnum offset within the space; NoFreeBlock ends the chain);
+// one-word free blocks cannot hold a link and stay unlinked until sweep
+// coalesces them into a neighbour.
+type BlockTable struct {
+	// FreeHead[b] is the offset of block b's first free block, or
+	// NoFreeBlock. Lists are address-ordered within the block.
+	FreeHead []int32
+	// MaxRun[b] is an upper bound on the largest free run in block b, in
+	// words: exact after a sweep, and tightened by a failed allocation scan
+	// (first-fit finding no run of n words proves every run is smaller, so
+	// the bound drops to n-1). Runs only ever shrink between sweeps, so the
+	// bound stays valid without being recomputed on allocation. It lets the
+	// allocator skip hopeless blocks in O(1) while leaving first-fit
+	// placement bit-identical: only blocks that cannot satisfy the request
+	// are skipped.
+	MaxRun []int32
+}
+
+// NumBlocks returns the number of blocks the space's capacity spans.
+func (s *Space) NumBlocks() int { return (len(s.Mem) + BlockMask) >> BlockShift }
+
+// BlocksReserved returns the blocks of address space the space pins down,
+// rounding its capacity up to whole blocks. Footprint reporting multiplies
+// this by BlockWords.
+func (s *Space) BlocksReserved() int { return s.NumBlocks() }
+
+// FootprintWords returns the heap's total reserved footprint: blocks
+// reserved across all spaces times the block size. Unlike occupancy (Used),
+// this counts to-spaces, free-list slack, and pooled large-object spaces —
+// the memory a real process would hold from the OS.
+func (h *Heap) FootprintWords() int {
+	n := 0
+	for _, s := range h.Spaces {
+		n += s.BlocksReserved()
+	}
+	return n * BlockWords
+}
+
+// NewBlockedSpace creates a space managed as blocks: every block is
+// formatted as one maximal free block on its own free list, and Top sits at
+// capacity so the space is linearly parsable from the start (free blocks
+// tile the storage). The capacity is taken exactly as requested — the final
+// block may be partial; block boundaries, not block count, carry the
+// no-straddling invariant — but at least one header must fit.
+func (h *Heap) NewBlockedSpace(name string, words int) *Space {
+	if words <= 0 {
+		panic("heap: NewBlockedSpace with non-positive size")
+	}
+	s := h.NewSpace(name, words)
+	s.Blocks = &BlockTable{
+		FreeHead: make([]int32, s.NumBlocks()),
+		MaxRun:   make([]int32, s.NumBlocks()),
+	}
+	s.Top = s.Cap()
+	for b := 0; b < s.NumBlocks(); b++ {
+		off := b << BlockShift
+		end := off + BlockWords
+		if end > s.Cap() {
+			end = s.Cap()
+		}
+		s.Mem[off] = HeaderWord(TFree, end-off-1)
+		SetFreeNext(s, off, NoFreeBlock)
+		s.Blocks.FreeHead[b] = int32(off)
+		s.Blocks.MaxRun[b] = int32(end - off)
+	}
+	return s
+}
+
+// FreeNext returns the list successor of the free block at off, or
+// NoFreeBlock. One-word free blocks have no link and always terminate.
+func FreeNext(s *Space, off int) int {
+	if HeaderSize(s.Mem[off]) == 0 {
+		return NoFreeBlock
+	}
+	return int(FixnumVal(s.Mem[off+1]))
+}
+
+// SetFreeNext links the free block at off to next. One-word free blocks
+// cannot hold a link; the write is skipped.
+func SetFreeNext(s *Space, off, next int) {
+	if HeaderSize(s.Mem[off]) > 0 {
+		s.Mem[off+1] = FixnumWord(int64(next))
+	}
+}
+
+// AllocFromBlock carves n words first-fit out of block b's free list,
+// splitting any remainder back onto the list in place (a one-word remainder
+// cannot hold a link and stays unlinked-but-parsable until sweep coalesces
+// it). It returns false when no free block in b fits.
+func (s *Space) AllocFromBlock(b, n int) (int, bool) {
+	if int(s.Blocks.MaxRun[b]) < n {
+		return 0, false
+	}
+	fh := s.Blocks.FreeHead
+	prev := NoFreeBlock
+	for off := int(fh[b]); off != NoFreeBlock; {
+		hdr := s.Mem[off]
+		blockWords := ObjWords(hdr)
+		next := FreeNext(s, off)
+		if blockWords >= n {
+			replacement := next
+			if rem := blockWords - n; rem > 1 {
+				remOff := off + n
+				s.Mem[remOff] = HeaderWord(TFree, rem-1)
+				SetFreeNext(s, remOff, next)
+				replacement = remOff
+			} else if rem == 1 {
+				s.Mem[off+n] = HeaderWord(TFree, 0)
+			}
+			if prev == NoFreeBlock {
+				fh[b] = int32(replacement)
+			} else {
+				SetFreeNext(s, prev, replacement)
+			}
+			return off, true
+		}
+		prev = off
+		off = next
+	}
+	// The full scan found no run of n words, so every run is at most n-1.
+	s.Blocks.MaxRun[b] = int32(n - 1)
+	return 0, false
+}
+
+// MarkedAt reports whether the object headed at off is marked in the side
+// bitmap.
+func (s *Space) MarkedAt(off int) bool {
+	return s.marks[off>>6]&(1<<(uint(off)&63)) != 0
+}
+
+// SetMarkAt sets the mark bit for the object headed at off and records its
+// block in the dirty summary. Not safe for concurrent use; parallel markers
+// claim through TryMarkAtomic.
+func (s *Space) SetMarkAt(off int) {
+	s.marks[off>>6] |= 1 << (uint(off) & 63)
+	b := off >> BlockShift
+	s.dirty[b>>6] |= 1 << (uint(b) & 63)
+}
+
+// ClearMarkAt clears the mark bit for the object headed at off. The dirty
+// summary is left set; ClearMarks resolves it.
+func (s *Space) ClearMarkAt(off int) {
+	s.marks[off>>6] &^= 1 << (uint(off) & 63)
+}
+
+// TryMarkAtomic atomically sets the mark bit for the object headed at off
+// and reports whether this caller won the claim (the bit was previously
+// clear). This is the parallel markers' whole claim protocol: headers are
+// never written during a mark, so a successful CAS here is the only
+// publication an object's marking needs.
+func (s *Space) TryMarkAtomic(off int) bool {
+	w := &s.marks[off>>6]
+	bit := uint64(1) << (uint(off) & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&bit != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|bit) {
+			b := off >> BlockShift
+			orUint64(&s.dirty[b>>6], 1<<(uint(b)&63))
+			return true
+		}
+	}
+}
+
+// MarkedAtAtomic is MarkedAt with an atomic load, for pre-claim checks in
+// parallel drains (a set bit is stable for the rest of the mark phase, so a
+// true result never needs revalidation).
+func (s *Space) MarkedAtAtomic(off int) bool {
+	return atomic.LoadUint64(&s.marks[off>>6])&(1<<(uint(off)&63)) != 0
+}
+
+// orUint64 is atomic.OrUint64 via CAS (the direct form needs a newer Go
+// than go.mod declares).
+func orUint64(p *uint64, bits uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if old&bits == bits {
+			return
+		}
+		if atomic.CompareAndSwapUint64(p, old, old|bits) {
+			return
+		}
+	}
+}
+
+// andNotUint64 atomically clears bits in *p, via CAS for the same reason.
+func andNotUint64(p *uint64, bits uint64) {
+	for {
+		old := atomic.LoadUint64(p)
+		if old&bits == 0 {
+			return
+		}
+		if atomic.CompareAndSwapUint64(p, old, old&^bits) {
+			return
+		}
+	}
+}
+
+// ClearMarkBits clears the space's mark bitmap in O(dirty blocks): the
+// dirty summary names exactly the blocks that received marks, and each
+// costs markWordsPerBlock stores. Blocks never marked cost nothing — this
+// is the per-block fix for the old O(whole-space) unmark pass.
+func (s *Space) ClearMarkBits() {
+	for di, d := range s.dirty {
+		if d == 0 {
+			continue
+		}
+		for d != 0 {
+			b := di<<6 + bits.TrailingZeros64(d)
+			d &= d - 1
+			lo := b * markWordsPerBlock
+			hi := lo + markWordsPerBlock
+			if hi > len(s.marks) {
+				hi = len(s.marks)
+			}
+			mw := s.marks[lo:hi]
+			for i := range mw {
+				mw[i] = 0
+			}
+		}
+		s.dirty[di] = 0
+	}
+}
+
+// clearBlockMarks clears the bitmap span of a single block with plain
+// stores (bitmap words never straddle blocks) and drops its dirty bit
+// atomically (dirty words summarize 64 blocks, which concurrent sweep
+// workers share).
+func (s *Space) clearBlockMarks(b int) {
+	lo := b * markWordsPerBlock
+	hi := lo + markWordsPerBlock
+	if hi > len(s.marks) {
+		hi = len(s.marks)
+	}
+	mw := s.marks[lo:hi]
+	for i := range mw {
+		mw[i] = 0
+	}
+	andNotUint64(&s.dirty[b>>6], 1<<(uint(b)&63))
+}
+
+// MarksClear reports whether no mark bit is set anywhere in the space. The
+// verifier uses it as the bitmap analogue of the stale-header-mark check;
+// it scans the whole bitmap rather than trusting the dirty summary, so a
+// summary bug cannot mask a stale bit.
+func (s *Space) MarksClear() bool {
+	for _, w := range s.marks {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -9,6 +9,9 @@ import "fmt"
 // production paths.
 func Check(h *Heap) error {
 	for _, s := range h.Spaces {
+		if !s.MarksClear() {
+			return fmt.Errorf("heap.Check: %v: mark bitmap not clear", s)
+		}
 		off := 0
 		for off < s.Top {
 			hdr := s.Mem[off]

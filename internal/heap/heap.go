@@ -113,6 +113,11 @@ type Heap struct {
 	// from the package default; SetGCWorkers overrides per heap.
 	gcWorkers int
 
+	// gcLAB opts the parallel evacuator into per-worker allocation buffers
+	// sized in whole blocks (parevac.go); it has no effect below 2 workers.
+	// New seeds it from the package default; SetGCLAB overrides per heap.
+	gcLAB bool
+
 	// collectorLabel is the installed allocator's Name(), captured for
 	// pprof labels on parallel tracing workers.
 	collectorLabel string
@@ -154,6 +159,7 @@ func New(opts ...Option) *Heap {
 		barrier:   nopBarrier{},
 		symtab:    make(map[string]int),
 		gcWorkers: int(defaultGCWorkers.Load()),
+		gcLAB:     defaultGCLAB.Load(),
 	}
 	for _, o := range opts {
 		o(h)

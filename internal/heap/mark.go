@@ -1,9 +1,10 @@
 package heap
 
-// Marker is a generic tracing engine that sets header mark bits without
-// moving anything. The mark/sweep collector and the lifetime census both
-// use it; they differ only in the region bound and in what they do with the
-// marks afterwards.
+// Marker is a generic tracing engine that sets side-bitmap mark bits
+// (block.go) without moving anything — headers are never written during a
+// mark. The mark/sweep collectors and the lifetime census all use it; they
+// differ only in the region bound and in what they do with the marks
+// afterwards.
 //
 // A Marker is built once per collector and re-armed with Begin before each
 // collection: the mark stack keeps its capacity across collections, so
@@ -109,8 +110,8 @@ func (m *Marker) MarkWord(w Word) {
 	m.mark(w)
 }
 
-// mark sets the mark bit of the (in-bound, pointer) word's object and
-// pushes it, if it was not already marked.
+// mark sets the bitmap mark bit of the (in-bound, pointer) word's object
+// and pushes it, if it was not already marked.
 func (m *Marker) mark(w Word) {
 	id := PtrSpace(w)
 	if int(id) >= len(m.spaces) {
@@ -120,12 +121,11 @@ func (m *Marker) mark(w Word) {
 	}
 	s := m.spaces[id]
 	off := PtrOff(w)
-	hdr := s.Mem[off]
-	if Marked(hdr) {
+	if s.MarkedAt(off) {
 		return
 	}
-	s.Mem[off] = SetMark(hdr)
-	m.WordsMarked += uint64(ObjWords(hdr))
+	s.SetMarkAt(off)
+	m.WordsMarked += uint64(ObjWords(s.Mem[off]))
 	m.ObjectsMarked++
 	m.stack = append(m.stack, w)
 }
@@ -154,29 +154,29 @@ func (m *Marker) Drain() {
 	bounded := m.bounded
 	// One-entry space cache: traces overwhelmingly stay within one space
 	// (and a depth-first pop revisits the space just pushed), so caching
-	// the last Mem slice elides a spaces-table load per object. curMem
-	// stays nil until the first lookup so SpaceID 0 is not spuriously
-	// "cached".
+	// the last space elides a spaces-table load per object. curS stays nil
+	// until the first lookup so SpaceID 0 is not spuriously "cached".
 	var (
-		curID  SpaceID
-		curMem []Word
+		curID SpaceID
+		curS  *Space
 	)
-	lookup := func(id SpaceID) []Word {
+	lookup := func(id SpaceID) *Space {
 		if int(id) >= len(m.spaces) {
 			m.spaces = m.H.Spaces
 		}
 		curID = id
-		curMem = m.spaces[id].Mem
-		return curMem
+		curS = m.spaces[id]
+		return curS
 	}
 	for len(m.stack) > 0 {
 		w := m.stack[len(m.stack)-1]
 		m.stack = m.stack[:len(m.stack)-1]
 		id := PtrSpace(w)
-		mem := curMem
-		if id != curID || mem == nil {
-			mem = lookup(id)
+		s := curS
+		if id != curID || s == nil {
+			s = lookup(id)
 		}
+		mem := s.Mem
 		off := PtrOff(w)
 		hdr := mem[off]
 		if RawPayload(HeaderType(hdr)) {
@@ -191,19 +191,18 @@ func (m *Marker) Drain() {
 			if bounded && !m.region.Has(vid) {
 				continue
 			}
-			// m.mark inlined: the load/branch sequence is the whole per-slot
-			// cost, so it must not be a call.
-			vmem := curMem
-			if vid != curID || vmem == nil {
-				vmem = lookup(vid)
+			// m.mark inlined: the bit probe and set are the whole per-slot
+			// cost, so they must not be a call.
+			vs := curS
+			if vid != curID || vs == nil {
+				vs = lookup(vid)
 			}
 			voff := PtrOff(v)
-			vhdr := vmem[voff]
-			if Marked(vhdr) {
+			if vs.MarkedAt(voff) {
 				continue
 			}
-			vmem[voff] = SetMark(vhdr)
-			m.WordsMarked += uint64(ObjWords(vhdr))
+			vs.SetMarkAt(voff)
+			m.WordsMarked += uint64(ObjWords(vs.Mem[voff]))
 			m.ObjectsMarked++
 			m.stack = append(m.stack, v)
 		}
@@ -257,17 +256,13 @@ func (m *Marker) Run() {
 	m.Drain()
 }
 
-// ClearMarks resets the mark bit of every block in the given spaces. Like
-// the fused drains, it iterates the block headers directly rather than
-// paying WalkSpace's per-block callback: the sweep-side unmark pass runs
-// once per mark/sweep collection over every block, live or dead.
+// ClearMarks drops every mark bit in the given spaces. Marks live in the
+// side bitmap, so this is a bitmap memclr guided by the per-block dirty
+// summary — O(blocks that received marks), not O(whole space): the old
+// header-walking unmark pass visited every block, live or dead, once per
+// mark/sweep collection.
 func ClearMarks(spaces ...*Space) {
 	for _, s := range spaces {
-		mem := s.Mem
-		for off := 0; off < s.Top; {
-			hdr := mem[off]
-			mem[off] = ClearMark(hdr)
-			off += ObjWords(hdr)
-		}
+		s.ClearMarkBits()
 	}
 }

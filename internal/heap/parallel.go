@@ -75,6 +75,42 @@ func (h *Heap) SetGCWorkers(n int) {
 // GCWorkers reports the heap's configured tracing-worker count.
 func (h *Heap) GCWorkers() int { return h.gcWorkers }
 
+// EnvGCLAB is the environment variable the drivers consult when their
+// -gclab flag is left at its default: "1" (or any truthy strconv.ParseBool
+// value) opts the parallel evacuator into per-worker allocation buffers.
+const EnvGCLAB = "RDGC_GC_LAB"
+
+// defaultGCLAB seeds every heap created by New, mirroring defaultGCWorkers.
+var defaultGCLAB atomic.Bool
+
+// SetDefaultGCLAB sets the allocation-buffer mode inherited by heaps
+// subsequently created with New.
+func SetDefaultGCLAB(on bool) { defaultGCLAB.Store(on) }
+
+// DefaultGCLAB returns the allocation-buffer mode New currently hands to
+// fresh heaps.
+func DefaultGCLAB() bool { return defaultGCLAB.Load() }
+
+// GCLABFromEnv reports whether RDGC_GC_LAB requests allocation buffers.
+func GCLABFromEnv() bool {
+	if s := os.Getenv(EnvGCLAB); s != "" {
+		if on, err := strconv.ParseBool(s); err == nil {
+			return on
+		}
+	}
+	return false
+}
+
+// SetGCLAB opts this heap's parallel evacuator into (or out of) per-worker
+// block-sized allocation buffers. The setting is inert below 2 workers: the
+// solo and sequential engines are contention-free, so exact-fit reservation
+// is strictly better there.
+func (h *Heap) SetGCLAB(on bool) { h.gcLAB = on }
+
+// GCLAB reports whether the parallel evacuator uses per-worker allocation
+// buffers.
+func (h *Heap) GCLAB() bool { return h.gcLAB }
+
 // Atomic accessors for heap words. Word's underlying type is uint64, so a
 // *Word converts directly to *uint64 for sync/atomic. During a parallel
 // drain every access to a contended header word goes through these; payload

@@ -11,18 +11,30 @@ import (
 
 // Parallel copying: Evacuator.Drain dispatches here when the heap is
 // configured with GCWorkers >= 1 (and neither the InFrom escape hatch nor a
-// move hook is armed). The design deviates from the classic per-worker
-// local-allocation-buffer scheme on purpose:
+// move hook is armed). Reservation has two modes:
 //
-//   - Reservation is per-object and exact-fit: workers carve copy space
-//     directly out of the shared targets with an atomic CAS bump on a
-//     per-target cursor. No buffer padding or filler objects ever land in a
-//     target, so the words-copied totals, survival counts, census, and (for
-//     single-target collections) the final Top are identical to the
-//     sequential engine for every worker count.
-//   - Instead of Cheney-scanning a per-worker buffer, each worker keeps an
-//     explicit gray stack of the objects it copied (exactly one publisher
-//     per object, the CAS winner), balanced through the shared parQueue.
+//   - Exact-fit (the default): workers carve copy space per object directly
+//     out of the shared targets with an atomic CAS bump on a per-target
+//     cursor. No buffer padding or filler ever lands in a target, so the
+//     words-copied totals, survival counts, census, and (for single-target
+//     collections) the final Top are identical to the sequential engine for
+//     every worker count — at the price of one contended CAS per copied
+//     object.
+//   - Per-worker allocation buffers (Heap.SetGCLAB / RDGC_GC_LAB, active at
+//     2+ workers): each worker claims whole BlockWords-sized buffers from
+//     the shared cursors and bump-allocates copies inside its buffer with
+//     plain stores, cutting cursor contention by ~BlockWords/avg-object.
+//     Retiring a buffer writes its unused tail as a TFree filler block (the
+//     space stays linearly parsable) and adds the tail to Space.Waste, so
+//     Used() — and every stat derived from it — is block-granularly
+//     accounted and identical to the sequential engine at every worker
+//     count. Top itself becomes schedule-dependent; DESIGN.md
+//     "Block-structured heap" spells out this per-block-accountable tier.
+//
+// In both modes, instead of Cheney-scanning target regions, each worker
+// keeps an explicit gray stack of the objects it copied (exactly one
+// publisher per object, the CAS winner), balanced through the shared
+// parQueue.
 //
 // Forwarding installation is a two-phase claim on the from-object's header:
 // CAS header -> busyHeader, copy, then atomically publish the forwarding
@@ -30,11 +42,12 @@ import (
 // until the pointer appears. Exactly one worker copies each object, which
 // is what keeps every word counter bit-identical to sequential.
 //
-// What is NOT preserved is the distribution of copies across multiple
-// targets near capacity boundaries: first-fit packing depends on arrival
-// order, so multi-target collections can strand or fill slightly different
-// amounts per target than the sequential engine (the totals still match).
-// DESIGN.md "Parallel tracing" spells out this determinism contract.
+// What is NOT preserved (in either mode) is the distribution of copies
+// across multiple targets near capacity boundaries: first-fit packing
+// depends on arrival order, so multi-target collections can strand or fill
+// slightly different amounts per target than the sequential engine (the
+// totals still match). DESIGN.md "Parallel tracing" spells out this
+// determinism contract.
 
 // busyHeader is the in-progress claim word installed in a from-object's
 // header slot between the winning CAS and the forwarding-pointer store. It
@@ -43,11 +56,26 @@ import (
 // live immediate.
 const busyHeader = TagImm | Word(63)<<2
 
+// labRetire records one retired allocation buffer's unused tail, applied to
+// Space.Waste after the drain (workers may not mutate shared Space fields
+// mid-drain).
+type labRetire struct {
+	s     *Space
+	words int
+}
+
 // evacWorker is one worker's persistent drain state.
 type evacWorker struct {
 	stack []Word
 	words uint64
 	objs  int
+
+	// Allocation-buffer state (LAB mode only): copies bump labOff within
+	// [labOff, labEnd) of lab, a whole-block region this worker owns.
+	lab     *Space
+	labOff  int
+	labEnd  int
+	retired []labRetire
 }
 
 // evacCursor is a shared bump cursor for one target space, padded to a
@@ -77,6 +105,7 @@ type parEvac struct {
 	ovMu    sync.Mutex // serializes Overflow growth and snapshot publishing
 	cur     *evacTargets
 	cursors []*evacCursor
+	lab     bool // this drain reserves through per-worker buffers
 }
 
 // drainParallel scans the gray regions of every target with the configured
@@ -114,6 +143,9 @@ func (e *Evacuator) drainParallel(workers int) {
 	e.spaces = e.H.Spaces
 	t.spaces = e.spaces
 	p.tgt.Store(t)
+	// Buffered reservation only pays off under contention; solo keeps the
+	// exact-fit path (and with it full Top parity with sequential).
+	p.lab = e.H.gcLAB && workers >= 2
 
 	if workers == 1 {
 		// Solo configuration: the parallel algorithm inline on the caller,
@@ -137,6 +169,20 @@ func (e *Evacuator) drainParallel(workers int) {
 			}()
 		}
 		wg.Wait()
+	}
+
+	// Retire every worker's open allocation buffer (workers are done, so
+	// writing the TFree filler tails is race-free) and apply the logged
+	// waste to the owning spaces before Tops are published.
+	if p.lab {
+		for i := 0; i < workers; i++ {
+			ws := &p.ws[i]
+			e.retireLAB(ws)
+			for _, r := range ws.retired {
+				r.s.Waste += r.words
+			}
+			ws.retired = ws.retired[:0]
+		}
 	}
 
 	// Publish the drain's results back into the engine's sequential state:
@@ -323,8 +369,13 @@ func (e *Evacuator) parForward(w Word, ws *evacWorker, t *evacTargets) (Word, bo
 			continue
 		}
 		n := ObjWords(hdr)
-		dst, doff, nt := e.parReserve(n, t)
-		t = nt
+		var dst *Space
+		var doff int
+		if e.par.lab {
+			dst, doff, t = e.labReserve(n, ws, t)
+		} else {
+			dst, doff, t = e.parReserve(n, t)
+		}
 		dmem := dst.Mem[doff : doff+n]
 		dmem[0] = hdr
 		copy(dmem[1:], s.Mem[off+1:off+n])
@@ -334,6 +385,55 @@ func (e *Evacuator) parForward(w Word, ws *evacWorker, t *evacTargets) (Word, bo
 		ws.objs++
 		return fwd, true, t
 	}
+}
+
+// labReserve reserves n words through the worker's allocation buffer:
+// in-buffer requests are a plain bump, and a miss claims a fresh
+// whole-block buffer from the shared cursors (retiring the old buffer's
+// tail as accounted filler). Requests larger than a block, and requests
+// arriving when no target can host a whole block, fall through to the
+// exact-fit path — near capacity the two modes converge, which is what
+// keeps the overflow policy identical.
+func (e *Evacuator) labReserve(n int, ws *evacWorker, t *evacTargets) (*Space, int, *evacTargets) {
+	if n <= ws.labEnd-ws.labOff {
+		off := ws.labOff
+		ws.labOff += n
+		return ws.lab, off, t
+	}
+	if n > BlockWords {
+		return e.parReserve(n, t)
+	}
+	for i, tg := range t.targets {
+		c := t.cursors[i]
+		limit := int64(len(tg.Mem) - BlockWords)
+		for {
+			cur := atomic.LoadInt64(&c.top)
+			if cur > limit {
+				break
+			}
+			if atomic.CompareAndSwapInt64(&c.top, cur, cur+BlockWords) {
+				e.retireLAB(ws)
+				ws.lab, ws.labOff, ws.labEnd = tg, int(cur), int(cur)+BlockWords
+				off := ws.labOff
+				ws.labOff += n
+				return tg, off, t
+			}
+		}
+	}
+	return e.parReserve(n, t)
+}
+
+// retireLAB closes the worker's open buffer: the unused tail becomes a
+// TFree filler block (the words are this worker's, so the store is
+// race-free) and is logged for Space.Waste accounting after the drain.
+func (e *Evacuator) retireLAB(ws *evacWorker) {
+	if ws.lab != nil && ws.labOff < ws.labEnd {
+		rem := ws.labEnd - ws.labOff
+		ws.lab.Mem[ws.labOff] = HeaderWord(TFree, rem-1)
+		ws.retired = append(ws.retired, labRetire{ws.lab, rem})
+	}
+	ws.lab = nil
+	ws.labOff, ws.labEnd = 0, 0
 }
 
 // parReserve carves n words out of the first target with room, via an

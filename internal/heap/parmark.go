@@ -11,13 +11,15 @@ import (
 // configured with GCWorkers >= 1. The roots have already been marked (and
 // counted) sequentially by MarkWord, so the engine's mark stack holds the
 // initial gray set; workers pop gray objects onto per-worker local stacks,
-// claim children by CASing the mark bit into the header, and balance load
-// through the shared parQueue.
+// claim children by CASing their bit into the side mark bitmap
+// (Space.TryMarkAtomic), and balance load through the shared parQueue.
+// Headers are never written during a mark, so every header and payload
+// access here is a plain load.
 //
 // Determinism contract: marking is idempotent and each object is claimed by
-// exactly one successful CAS, so the resulting mark set, WordsMarked, and
-// ObjectsMarked are bit-identical to the sequential drain for every worker
-// count — only the order in which objects are visited differs.
+// exactly one successful bitmap CAS, so the resulting mark set, WordsMarked,
+// and ObjectsMarked are bit-identical to the sequential drain for every
+// worker count — only the order in which objects are visited differs.
 
 // markWorker is one worker's persistent drain state.
 type markWorker struct {
@@ -82,14 +84,13 @@ func (m *Marker) drainParallel(workers int) {
 }
 
 // markWorkerLoop is one worker's drain: pop a marked gray object, scan its
-// payload, CAS-claim unmarked children. With q == nil it runs the whole
-// stack inline (the workers=1 configuration).
+// payload, CAS-claim unmarked children in the bitmap. With q == nil it runs
+// the whole stack inline (the workers=1 configuration).
 //
-// Header words are only ever read atomically here and only ever written by
-// a successful CAS: during the mark phase the single possible transition is
-// unmarked -> marked, so a failed CAS means another worker claimed the
-// object and it is skipped. Payload words are never written by anyone, so
-// plain loads suffice.
+// Mark state lives entirely in the side bitmap: a cheap atomic pre-probe
+// (MarkedAtAtomic) filters already-claimed children, and TryMarkAtomic's
+// CAS decides races. Headers and payloads are never written during a mark,
+// so plain loads suffice for both.
 func (m *Marker) markWorkerLoop(ws *markWorker, q *parQueue) {
 	local := ws.stack
 	spaces := m.spaces
@@ -111,7 +112,7 @@ func (m *Marker) markWorkerLoop(ws *markWorker, q *parQueue) {
 		local = local[:len(local)-1]
 		mem := spaces[PtrSpace(w)].Mem
 		off := PtrOff(w)
-		hdr := loadWord(&mem[off])
+		hdr := mem[off]
 		if RawPayload(HeaderType(hdr)) {
 			continue
 		}
@@ -124,16 +125,15 @@ func (m *Marker) markWorkerLoop(ws *markWorker, q *parQueue) {
 			if bounded && !region.Has(vid) {
 				continue
 			}
-			vmem := spaces[vid].Mem
+			vs := spaces[vid]
 			voff := PtrOff(v)
-			vhdr := loadWord(&vmem[voff])
-			if Marked(vhdr) {
+			if vs.MarkedAtAtomic(voff) {
 				continue
 			}
-			if !casWord(&vmem[voff], vhdr, SetMark(vhdr)) {
+			if !vs.TryMarkAtomic(voff) {
 				continue // lost the claim: the winner counted and queued it
 			}
-			ws.words += uint64(ObjWords(vhdr))
+			ws.words += uint64(ObjWords(vs.Mem[voff]))
 			ws.objs++
 			local = append(local, v)
 		}
@@ -148,7 +148,7 @@ func (m *Marker) markWorkerLoop(ws *markWorker, q *parQueue) {
 }
 
 // markWorkerLoopSolo is markWorkerLoop for the single-worker configuration:
-// the same local-stack drain over the same state, but with plain header
+// the same local-stack drain over the same state, but with plain bitmap
 // accesses — one worker cannot race itself, and the atomic protocol is the
 // difference between parity with the sequential engine and a 2x tax.
 func (m *Marker) markWorkerLoopSolo(ws *markWorker) {
@@ -175,14 +175,13 @@ func (m *Marker) markWorkerLoopSolo(ws *markWorker) {
 			if bounded && !region.Has(vid) {
 				continue
 			}
-			vmem := spaces[vid].Mem
+			vs := spaces[vid]
 			voff := PtrOff(v)
-			vhdr := vmem[voff]
-			if Marked(vhdr) {
+			if vs.MarkedAt(voff) {
 				continue
 			}
-			vmem[voff] = SetMark(vhdr)
-			ws.words += uint64(ObjWords(vhdr))
+			vs.SetMarkAt(voff)
+			ws.words += uint64(ObjWords(vs.Mem[voff]))
 			ws.objs++
 			local = append(local, v)
 		}

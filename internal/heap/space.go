@@ -12,6 +12,21 @@ type Space struct {
 	Mem  []Word
 	Top  int // next free word index for bump allocation
 	Name string
+
+	// Waste counts TFree filler words below Top left by block-granular
+	// allocation buffers (parevac.go): parsable dead storage that was never
+	// an object. Used subtracts it, so occupancy accounting is identical
+	// whether copies were exact-fit or buffered.
+	Waste int
+
+	// Blocks, when non-nil, is the per-block metadata of a mark/sweep-
+	// managed space (see block.go); bump-allocated spaces leave it nil.
+	Blocks *BlockTable
+
+	// marks is the side mark bitmap (one bit per word) and dirty its
+	// per-block summary (one bit per block); see block.go.
+	marks []uint64
+	dirty []uint64
 }
 
 // Cap returns the capacity of the space in words.
@@ -20,12 +35,18 @@ func (s *Space) Cap() int { return len(s.Mem) }
 // Free returns the number of unallocated words remaining for bump allocation.
 func (s *Space) Free() int { return len(s.Mem) - s.Top }
 
-// Used returns the number of words below the bump pointer.
-func (s *Space) Used() int { return s.Top }
+// Used returns the occupancy of the space: words below the bump pointer,
+// excluding allocation-buffer filler (see Waste).
+func (s *Space) Used() int { return s.Top - s.Waste }
 
 // Reset empties the space for reuse. The contents are not zeroed; all
-// allocation paths initialize every word they hand out.
-func (s *Space) Reset() { s.Top = 0 }
+// allocation paths initialize every word they hand out. Any mark bits are
+// dropped (in O(dirty blocks)) so a recycled space starts unmarked.
+func (s *Space) Reset() {
+	s.Top = 0
+	s.Waste = 0
+	s.ClearMarkBits()
+}
 
 // Bump allocates n words by bumping Top. It returns the offset of the first
 // word and false if the space lacks room.
@@ -36,6 +57,21 @@ func (s *Space) Bump(n int) (int, bool) {
 	off := s.Top
 	s.Top += n
 	return off, true
+}
+
+// Resize replaces the space's storage with a fresh arena of the given size,
+// discarding the old contents, and sizes the side bitmaps to match. It is
+// how collectors grow scratch spaces (to-spaces between collections);
+// reassigning Mem directly would orphan the bitmaps.
+func (s *Space) Resize(words int) {
+	if words <= 0 {
+		panic("heap: Resize to non-positive size")
+	}
+	s.Mem = make([]Word, words)
+	s.marks = make([]uint64, (words+63)/64)
+	s.dirty = make([]uint64, ((words+BlockMask)>>BlockShift+63)/64)
+	s.Top = 0
+	s.Waste = 0
 }
 
 func (s *Space) String() string {
@@ -51,7 +87,13 @@ func (h *Heap) NewSpace(name string, words int) *Space {
 	if len(h.Spaces) >= 1<<16 {
 		panic("heap: too many spaces")
 	}
-	s := &Space{ID: SpaceID(len(h.Spaces)), Mem: make([]Word, words), Name: name}
+	s := &Space{
+		ID:    SpaceID(len(h.Spaces)),
+		Mem:   make([]Word, words),
+		Name:  name,
+		marks: make([]uint64, (words+63)/64),
+		dirty: make([]uint64, ((words+BlockMask)>>BlockShift+63)/64),
+	}
 	h.Spaces = append(h.Spaces, s)
 	return s
 }

@@ -135,6 +135,15 @@ func (v *verifier) parseSpaces() {
 		if !v.live[s.ID] {
 			continue
 		}
+		// Marks live in the side bitmap; any bit still set after a
+		// collection is the bitmap analogue of a stale header mark. The
+		// header-bit check below stays as a defense: no engine writes it
+		// anymore, so a set bit means corruption.
+		if !s.MarksClear() {
+			if !v.errorf(ErrStaleMark, "%v: mark bitmap not clear after collection", s) {
+				return
+			}
+		}
 		starts := make(map[int]Word)
 		v.starts[s.ID] = starts
 		for off := 0; off < s.Top; {

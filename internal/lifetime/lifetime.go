@@ -45,10 +45,9 @@ func TakeCensus(h *heap.Heap, epochWords uint64) Snapshot {
 	snap := Snapshot{At: h.Now()}
 	for _, s := range h.Spaces {
 		heap.WalkSpace(s, func(off int, hdr heap.Word) bool {
-			if !heap.Marked(hdr) {
+			if !s.MarkedAt(off) {
 				return true
 			}
-			s.Mem[off] = heap.ClearMark(hdr)
 			birth := h.BirthStamp(heap.PtrWord(s.ID, off))
 			e := int(birth / epochWords)
 			for len(snap.LiveByBirthEpoch) <= e {
@@ -57,6 +56,7 @@ func TakeCensus(h *heap.Heap, epochWords uint64) Snapshot {
 			snap.LiveByBirthEpoch[e] += uint64(heap.ObjWords(hdr))
 			return true
 		})
+		heap.ClearMarks(s)
 	}
 	return snap
 }
