@@ -40,6 +40,13 @@ check_cover ./internal/trace 85
 # within noise of the sequential ones).
 RDGC_GC_WORKERS=4 go test -race -count=1 ./internal/heap ./internal/gc/conformance ./internal/gc/marksweep
 RDGC_GC_WORKERS=4 RDGC_GC_LAB=1 go test -race -count=1 ./internal/gc/marksweep ./internal/gc/gcfuzz
+
+# Incremental collection: the heap engines, both mark/sweep collectors, and
+# the conformance suite (whose incremental tests pin the surviving object
+# set to the stop-the-world one) re-run under the race detector with
+# RDGC_GC_INCR pinned on, so the barrier, the mark slices, and the lazy
+# sweep all run their env-sensitive paths.
+RDGC_GC_INCR=1 go test -race -count=1 ./internal/heap ./internal/gc/marksweep ./internal/gc/npms ./internal/gc/conformance
 go run ./cmd/benchreport -smoke
 
 # Trace smoke: record a small benchmark once, then replay the trace under
@@ -55,6 +62,10 @@ go run ./cmd/gctrace stat "$trace_tmp/lattice.trace" > /dev/null
 # harness (the seed corpus replays first), under the race detector with the
 # parallel tracing engines at four workers so every fuzz input also drives
 # the concurrent drains — and, with RDGC_GC_LAB=1, the buffered evacuation
-# path and the four-worker block sweep. Real campaigns: make fuzz.
+# path and the four-worker block sweep. Every fuzz input already replays in
+# incremental mode too (FuzzCollectors runs RunAllIncr on each program); the
+# third run pins a small slice budget so mark slices and lazy sweeps
+# interleave as finely as possible. Real campaigns: make fuzz.
 RDGC_GC_WORKERS=4 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz
 RDGC_GC_WORKERS=4 RDGC_GC_LAB=1 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz
+RDGC_GC_SLICE=64 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz

@@ -17,11 +17,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"sort"
 	"testing"
 	"time"
 
+	"rdgc/internal/bench"
 	"rdgc/internal/core"
 	"rdgc/internal/decay"
 	"rdgc/internal/experiments"
@@ -38,8 +41,12 @@ import (
 // EngineResult is one tracing-engine microbenchmark: a fixed object graph
 // traced repeatedly by a persistent engine.
 type EngineResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// Iterations is the raw b.N of the kept (fastest) round — the
+	// denominator behind NsPerOp, recorded so two reports can be judged on
+	// comparable sample sizes.
+	Iterations  int     `json:"iterations,omitempty"`
 	WordsPerOp  uint64  `json:"words_per_op"`
 	WordsPerSec float64 `json:"words_per_sec"`
 }
@@ -67,6 +74,7 @@ type ParallelResult struct {
 	Engine      string  `json:"engine"`
 	GCWorkers   int     `json:"gc_workers"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	Iterations  int     `json:"iterations,omitempty"`
 	WordsPerOp  uint64  `json:"words_per_op"`
 	WordsPerSec float64 `json:"words_per_sec"`
 }
@@ -87,17 +95,44 @@ type TraceResult struct {
 	VsBaseline float64 `json:"vs_baseline,omitempty"`
 }
 
-// Report is one full measurement run. CPUs records how many cores the
-// measurement had: parallel speedups are only meaningful when CPUs covers
-// the worker count (a 1-CPU container measures coordination overhead, not
-// scaling).
+// PauseResult is one pause-distribution row: a workload run under an
+// incremental-capable collector, stop-the-world or incremental at a given
+// slice budget, with the mutator-visible pause histogram's headline
+// quantiles. Pause sizes are words of collector work per pause; an
+// incremental row earns its keep when its p99 and max collapse against the
+// stop-the-world row for the same (workload, collector) while WallNS stays
+// comparable.
+type PauseResult struct {
+	Workload        string `json:"workload"`
+	Collector       string `json:"collector"`
+	Incremental     bool   `json:"incremental"`
+	SliceBudget     int    `json:"slice_budget,omitempty"`
+	AllocWords      uint64 `json:"alloc_words"`
+	GCWorkWords     uint64 `json:"gc_work_words"`
+	Collections     int    `json:"collections"`
+	Pauses          uint64 `json:"pauses"`
+	PauseP50Words   uint64 `json:"pause_p50_words"`
+	PauseP99Words   uint64 `json:"pause_p99_words"`
+	MaxPauseWords   uint64 `json:"max_pause_words"`
+	TotalPauseWords uint64 `json:"total_pause_words"`
+	WallNS          int64  `json:"wall_ns"`
+	Error           string `json:"error,omitempty"`
+}
+
+// Report is one full measurement run. GoMaxProcs and NumCPU record what the
+// measurement had to work with: parallel speedups are only meaningful when
+// the schedulable cores cover the worker count (a 1-CPU container measures
+// coordination overhead, not scaling), and a GOMAXPROCS below NumCPU says
+// the run was deliberately constrained.
 type Report struct {
 	Schema     string            `json:"schema"`
 	GoVersion  string            `json:"go_version"`
-	CPUs       int               `json:"cpus"`
+	GoMaxProcs int               `json:"gomaxprocs"`
+	NumCPU     int               `json:"num_cpu"`
 	Engines    []EngineResult    `json:"engines"`
 	Parallel   []ParallelResult  `json:"parallel,omitempty"`
 	Collectors []CollectorResult `json:"collectors"`
+	Pauses     []PauseResult     `json:"pauses,omitempty"`
 	Traces     []TraceResult     `json:"traces,omitempty"`
 }
 
@@ -187,6 +222,7 @@ func engineBenchmarks() []EngineResult {
 		return EngineResult{
 			Name:        name,
 			NsPerOp:     ns,
+			Iterations:  r.N,
 			WordsPerOp:  words,
 			WordsPerSec: float64(words) / ns * 1e9,
 		}
@@ -256,6 +292,7 @@ func parallelBenchmarks(workerCounts []int) []ParallelResult {
 				Engine:      engine,
 				GCWorkers:   workers,
 				NsPerOp:     ns,
+				Iterations:  r.N,
 				WordsPerOp:  words,
 				WordsPerSec: float64(words) / ns * 1e9,
 			}
@@ -307,6 +344,7 @@ func sweepBenchmarks(workerCounts []int) []ParallelResult {
 			Engine:      "sweep",
 			GCWorkers:   workers,
 			NsPerOp:     ns,
+			Iterations:  r.N,
 			WordsPerOp:  sweepArenaWords,
 			WordsPerSec: float64(sweepArenaWords) / ns * 1e9,
 		})
@@ -383,6 +421,7 @@ func markBitBenchmarks() []EngineResult {
 		return EngineResult{
 			Name:        name,
 			NsPerOp:     ns,
+			Iterations:  r.N,
 			WordsPerOp:  words, // objects tested+marked+cleared per op
 			WordsPerSec: float64(words) / ns * 1e9,
 		}
@@ -458,6 +497,76 @@ func collectorGrid(gcWorkers int) []CollectorResult {
 			}
 		}
 		out = append(out, best)
+	}
+	return out
+}
+
+// pauseModes is the collection-mode grid every pause workload runs under:
+// the stop-the-world baseline and incremental at a quarter, one, and four
+// times the default slice budget — enough to see how the pause ceiling and
+// the throughput cost move with the budget.
+var pauseModes = []struct {
+	incremental bool
+	slice       int
+}{
+	{false, 0},
+	{true, heap.DefaultSliceBudget / 4},
+	{true, heap.DefaultSliceBudget},
+	{true, heap.DefaultSliceBudget * 4},
+}
+
+// pauseRow converts a measurement into its report row.
+func pauseRow(r experiments.PauseRun) PauseResult {
+	row := PauseResult{
+		Workload:        r.Workload,
+		Collector:       r.Collector,
+		Incremental:     r.Incremental,
+		SliceBudget:     r.SliceBudget,
+		AllocWords:      r.AllocWords,
+		GCWorkWords:     r.GCWorkWords,
+		Collections:     r.Collections,
+		Pauses:          r.Pauses,
+		PauseP50Words:   r.PauseP50Words,
+		PauseP99Words:   r.PauseP99Words,
+		MaxPauseWords:   r.MaxPauseWords,
+		TotalPauseWords: r.TotalPauseWords,
+		WallNS:          r.WallNS,
+	}
+	if r.Err != nil {
+		row.Error = r.Err.Error()
+	}
+	return row
+}
+
+// pauseBenchmarks measures the pause distributions behind the incremental
+// collection mode: the decay workload plus two registry benchmarks with
+// non-trivial live sets, each under both mark/sweep collectors in every
+// pause mode. Rows are single runs — pause sizes are in deterministic words
+// of collector work, so only WallNS carries measurement noise.
+func pauseBenchmarks() []PauseResult {
+	var out []PauseResult
+	for _, col := range []string{"marksweep", "npms"} {
+		for _, m := range pauseModes {
+			out = append(out, pauseRow(experiments.RunDecayPauses(col, workloadSteps, m.incremental, m.slice)))
+		}
+	}
+	for _, name := range []string{"nbody-24", "nucleic2"} {
+		var prog bench.Program
+		for _, p := range bench.Standard() {
+			if p.Name() == name {
+				prog = p
+				break
+			}
+		}
+		if prog == nil {
+			out = append(out, PauseResult{Workload: name, Error: "not in the standard registry"})
+			continue
+		}
+		for _, col := range []string{"marksweep", "npms"} {
+			for _, m := range pauseModes {
+				out = append(out, pauseRow(experiments.RunBenchPauses(prog, col, m.incremental, m.slice)))
+			}
+		}
 	}
 	return out
 }
@@ -588,12 +697,14 @@ func run() *Report {
 	parallel := parallelBenchmarks([]int{0, 1, 2, 4, 8})
 	parallel = append(parallel, sweepBenchmarks([]int{0, 1, 2, 4, 8})...)
 	return &Report{
-		Schema:     "rdgc-bench/4",
+		Schema:     "rdgc-bench/5",
 		GoVersion:  runtime.Version(),
-		CPUs:       runtime.GOMAXPROCS(0),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
 		Engines:    append(engineBenchmarks(), markBitBenchmarks()...),
 		Parallel:   parallel,
 		Collectors: collectors,
+		Pauses:     pauseBenchmarks(),
 		Traces:     traceBenchmarks(),
 	}
 }
@@ -677,10 +788,47 @@ func compare(pathA, pathB string) error {
 		return fmt.Errorf("%s: %w", pathB, err)
 	}
 	fmt.Printf("bench-compare: %s -> %s (speedup >1 means %s is faster)\n", pathA, pathB, pathB)
-	for name, s := range speedups(a, b) {
-		fmt.Printf("  %-28s %.2fx\n", name, s)
+	sp := speedups(a, b)
+	names := make([]string, 0, len(sp))
+	for name := range sp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  %-28s %.2fx\n", name, sp[name])
+	}
+	if note := driftNote(sp); note != "" {
+		fmt.Println(note)
 	}
 	return nil
+}
+
+// driftNote flags the pattern a real code change never produces: every
+// shared row shifted by about the same factor, and that factor is not 1.
+// That shape means the two reports ran on differently loaded (or different)
+// machines, so the per-row speedups should be read as noise.
+func driftNote(sp map[string]float64) string {
+	if len(sp) < 3 {
+		return ""
+	}
+	logSum := 0.0
+	for _, s := range sp {
+		if s <= 0 {
+			return ""
+		}
+		logSum += math.Log(s)
+	}
+	geo := math.Exp(logSum / float64(len(sp)))
+	for _, s := range sp {
+		if s < geo*0.9 || s > geo*1.1 {
+			return ""
+		}
+	}
+	if math.Abs(geo-1) <= 0.05 {
+		return ""
+	}
+	return fmt.Sprintf("  warning: all %d shared rows shifted together (geomean %.2fx, every row within ±10%% of it) — uniform drift, likely a machine-speed difference rather than a code change",
+		len(sp), geo)
 }
 
 // smoke is the CI parity gate: the workers=1 parallel engines must stay

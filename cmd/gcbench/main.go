@@ -14,6 +14,7 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +47,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
 	gcworkers := flag.Int("gcworkers", -1, "parallel tracing workers per heap (0 = sequential engines; -1 = $RDGC_GC_WORKERS)")
 	gclab := flag.Bool("gclab", heap.GCLABFromEnv(), "per-worker allocation buffers during parallel evacuation (default $RDGC_GC_LAB)")
+	gcincr := flag.Bool("gcincr", heap.GCIncrFromEnv(), "incremental collection (mark slices + lazy sweep) on the collectors that support it (default $RDGC_GC_INCR)")
+	gcslice := flag.Int("gcslice", 0, "incremental mark slice budget in words (0 = $RDGC_GC_SLICE, or the built-in default)")
+	pauselog := flag.String("pauselog", "", "run each benchmark under the incremental-capable collectors and dump every mutator-visible pause as CSV to `file` (- for stdout); honors -gcincr/-gcslice")
 	progress := flag.Bool("progress", false, "report per-cell completion and wall-clock to stderr")
 	jsonOut := flag.Bool("json", false, "emit per-cell measurements as JSON instead of the table")
 	record := flag.String("record", "", "also record each benchmark as an allocation-event trace into `dir` (see cmd/gctrace)")
@@ -67,9 +71,18 @@ func main() {
 	gw := heap.ResolveGCWorkers(*gcworkers)
 	heap.SetDefaultGCWorkers(gw)
 	heap.SetDefaultGCLAB(*gclab)
+	heap.SetDefaultGCIncremental(*gcincr)
+	gs := heap.ResolveGCSlice(*gcslice)
+	heap.SetDefaultGCSliceBudget(gs)
 	// run holds the early-returning body so the profile teardown below
 	// covers every exit path.
 	run(*table2, *quick, *withHybrid, *parallel, gw, *progress, *jsonOut, *record)
+	if *pauselog != "" {
+		if err := dumpPauseLog(*pauselog, *quick, *gcincr, gs); err != nil {
+			fmt.Fprintln(os.Stderr, "gcbench:", err)
+			os.Exit(1)
+		}
+	}
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -189,7 +202,11 @@ type jsonCell struct {
 	GCWorkWords   uint64  `json:"gc_work_words"`
 	MarkCons      float64 `json:"mark_cons"`
 	Collections   int     `json:"collections"`
+	Pauses        uint64  `json:"pauses"`
+	PauseP50Words uint64  `json:"pause_p50_words"`
+	PauseP99Words uint64  `json:"pause_p99_words"`
 	MaxPauseWords uint64  `json:"max_pause_words"`
+	TotalPause    uint64  `json:"total_pause_words"`
 	RemsetPeak    int     `json:"remset_peak"`
 	PeakWords     int     `json:"peak_words"`
 	SemiWords     int     `json:"semi_words"`
@@ -217,7 +234,11 @@ func emitJSON(results []runner.Result[rowResult], withHybrid bool) {
 				GCWorkWords:    res.GCWorkWords,
 				MarkCons:       res.GCMutatorRatio(),
 				Collections:    res.Collections,
+				Pauses:         res.Pauses,
+				PauseP50Words:  res.PauseP50Words,
+				PauseP99Words:  res.PauseP99Words,
 				MaxPauseWords:  res.MaxPauseWords,
+				TotalPause:     res.TotalPauseWords,
 				RemsetPeak:     res.RemsetPeak,
 				PeakWords:      row.PeakWords,
 				SemiWords:      row.SemiWords,
@@ -242,6 +263,44 @@ func emitJSON(results []runner.Result[rowResult], withHybrid bool) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// dumpPauseLog reruns every benchmark under each incremental-capable
+// collector, streaming every mutator-visible pause (in words of collector
+// work, in the order recorded) as one CSV row. Runs are sequential — the
+// row order is deterministic — and honor -gcincr/-gcslice, so the same
+// file can capture a stop-the-world baseline or any slice budget.
+func dumpPauseLog(path string, quick, incremental bool, sliceBudget int) error {
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	w := bufio.NewWriter(out)
+	fmt.Fprintln(w, "program,collector,incremental,slice_budget,seq,pause_words")
+	progs := bench.Standard()
+	if quick {
+		progs = bench.Quick()
+	}
+	for _, p := range progs {
+		for _, collector := range []string{"marksweep", "npms"} {
+			seq := 0
+			r := experiments.RunBenchPausesLogged(p, collector, incremental, sliceBudget,
+				func(words uint64) {
+					fmt.Fprintf(w, "%s,%s,%v,%d,%d,%d\n",
+						p.Name(), collector, incremental, sliceBudget, seq, words)
+					seq++
+				})
+			if r.Err != nil {
+				return fmt.Errorf("%s/%s: %w", p.Name(), collector, r.Err)
+			}
+		}
+	}
+	return w.Flush()
 }
 
 // runHybrid measures the hybrid collector sized like the generational one.

@@ -4,7 +4,7 @@
 // bytes, and it reruns the program against every collector, printing each
 // collector's mutator statistics and the first property violation.
 //
-//	gcfuzz [-census=auto|on|off] [-collector NAME] [-minimize] [-emit-trace FILE] FILE...
+//	gcfuzz [-census=auto|on|off] [-collector NAME] [-gcincr] [-minimize] [-emit-trace FILE] FILE...
 //
 // With -minimize, a failing program is shrunk to a minimal reproducer
 // (printed as a go-fuzz corpus file, ready to check in as a regression
@@ -27,6 +27,7 @@ import (
 func main() {
 	censusMode := flag.String("census", "auto", "census tracking: auto (derived from the program), on, or off")
 	collector := flag.String("collector", "", "run only the named collector (default: all, with cross-collector stats check)")
+	gcincr := flag.Bool("gcincr", heap.GCIncrFromEnv(), "replay with incremental collection (mark slices + lazy sweep) where supported (default $RDGC_GC_INCR)")
 	minimize := flag.Bool("minimize", false, "shrink a failing program to a minimal reproducer")
 	emitTrace := flag.String("emit-trace", "", "export the (single) program as an allocation-event trace to `file`")
 	flag.Parse()
@@ -41,7 +42,7 @@ func main() {
 
 	exit := 0
 	for _, path := range flag.Args() {
-		if err := replay(path, *censusMode, *collector, *minimize, *emitTrace); err != nil {
+		if err := replay(path, *censusMode, *collector, *gcincr, *minimize, *emitTrace); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			exit = 1
 		}
@@ -96,7 +97,7 @@ func emit(path string, prog []byte, census bool) error {
 	return nil
 }
 
-func replay(path, censusMode, collector string, minimize bool, emitTrace string) error {
+func replay(path, censusMode, collector string, gcincr, minimize bool, emitTrace string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -123,17 +124,23 @@ func replay(path, censusMode, collector string, minimize bool, emitTrace string)
 		}
 	}
 
+	runOne := gcfuzz.Run
+	runAll := gcfuzz.RunAll
+	if gcincr {
+		runOne = gcfuzz.RunIncr
+		runAll = gcfuzz.RunAllIncr
+	}
 	run := func(p []byte) error {
 		if collector != "" {
 			for _, nc := range gcfuzz.Collectors() {
 				if nc.Name == collector {
-					_, err := gcfuzz.Run(p, nc.New, census)
+					_, err := runOne(p, nc.New, census)
 					return err
 				}
 			}
 			return fmt.Errorf("unknown collector %q", collector)
 		}
-		return gcfuzz.RunAll(p, census)
+		return runAll(p, census)
 	}
 
 	var firstStats heap.Stats
@@ -141,7 +148,7 @@ func replay(path, censusMode, collector string, minimize bool, emitTrace string)
 		if collector != "" && nc.Name != collector {
 			continue
 		}
-		stats, err := gcfuzz.Run(prog, nc.New, census)
+		stats, err := runOne(prog, nc.New, census)
 		status := "ok"
 		if err != nil {
 			status = err.Error()

@@ -188,11 +188,15 @@ func cmdReplay(args []string) error {
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
 	gcworkers := fs.Int("gcworkers", -1, "parallel tracing workers per heap (0 = sequential engines; -1 = $RDGC_GC_WORKERS); marking parallelizes, evacuation stays sequential under the replayer's move hook")
 	gclab := fs.Bool("gclab", heap.GCLABFromEnv(), "per-worker allocation buffers during parallel evacuation (default $RDGC_GC_LAB)")
+	gcincr := fs.Bool("gcincr", heap.GCIncrFromEnv(), "incremental collection (mark slices + lazy sweep) on the collectors that support it (default $RDGC_GC_INCR)")
+	gcslice := fs.Int("gcslice", 0, "incremental mark slice budget in words (0 = $RDGC_GC_SLICE, or the built-in default)")
 	progress := fs.Bool("progress", false, "report per-cell completion and wall-clock to stderr")
 	fs.Parse(args)
 	gw := heap.ResolveGCWorkers(*gcworkers)
 	heap.SetDefaultGCWorkers(gw)
 	heap.SetDefaultGCLAB(*gclab)
+	heap.SetDefaultGCIncremental(*gcincr)
+	heap.SetDefaultGCSliceBudget(heap.ResolveGCSlice(*gcslice))
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay needs exactly one trace file")
 	}

@@ -166,7 +166,7 @@ func (c *Collector) Collect() {
 	c.stats.Collections++
 	c.stats.MajorCollections++
 	c.stats.WordsCopied += copied
-	c.stats.AddPause(copied)
+	c.h.AddPause(&c.stats, copied)
 	c.stats.NoteLive(c.st.LiveStepWords())
 	if p := c.rs.Peak(); p > c.stats.RemsetPeak {
 		c.stats.RemsetPeak = p

@@ -1,0 +1,123 @@
+// Differential tests for incremental collection (DESIGN.md "Incremental
+// collection"): for every collector configuration, a run with the insertion
+// barrier, mark slices, and lazy sweeping enabled must be invisible to the
+// mutator — identical mutator statistics and, after a final synchronizing
+// collection, an identical live-object census — compared with the
+// stop-the-world run of the same seeded workload. Collectors without an
+// incremental mode ignore the flag, so the same pin covers them trivially
+// and guards against the flag leaking side effects anywhere else.
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"rdgc/internal/gc/gctest"
+	"rdgc/internal/heap"
+)
+
+// TestMain seeds the engine defaults from the environment, the way the
+// drivers do, so CI can replay the whole conformance suite under
+// RDGC_GC_WORKERS, RDGC_GC_LAB, and RDGC_GC_INCR (with RDGC_GC_SLICE
+// optionally shrinking the slice budget to sharpen interleavings).
+func TestMain(m *testing.M) {
+	heap.SetDefaultGCWorkers(heap.GCWorkersFromEnv())
+	heap.SetDefaultGCLAB(heap.GCLABFromEnv())
+	heap.SetDefaultGCIncremental(heap.GCIncrFromEnv())
+	heap.SetDefaultGCSliceBudget(heap.GCSliceFromEnv())
+	os.Exit(m.Run())
+}
+
+// incrementalRun plays the seeded workload with incremental collection
+// enabled (and the given tracing-worker count for the stop-the-world
+// collections incremental mode still performs), ending on a forced
+// collection so the heap is fully swept and quiescent.
+func incrementalRun(t *testing.T, mk func(h *heap.Heap) heap.Collector, seed int64, census bool, workers int) (*heap.Heap, heap.Collector) {
+	t.Helper()
+	var opts []heap.Option
+	if census {
+		opts = append(opts, heap.WithCensus())
+	}
+	h := heap.New(opts...)
+	h.SetGCWorkers(workers)
+	h.SetGCIncremental(true)
+	c := mk(h)
+	gctest.RandomOps(t, h, c, ops, seed)
+	synchronize(c)
+	return h, c
+}
+
+// synchronize forces enough collections to reclaim every dead object. One is
+// not always enough: the non-predictive collectors only collect steps j+1..k,
+// and the two modes reach the end of the workload with different step
+// contents, so a dead object can sit in an uncollected young step of one run
+// but not the other. A second collection covers the formerly-young steps
+// (renaming appends them to the collected end, and j <= k-j in every
+// configuration here), after which the surviving set is exactly the live set.
+func synchronize(c heap.Collector) {
+	c.Collect()
+	c.Collect()
+}
+
+// TestIncrementalShadowModel runs every collector configuration through the
+// randomized workload with incremental collection on: the shadow model, the
+// per-collection deep verifier, and the final heap.Check must all stay
+// clean with collection interleaved into the mutator at slice granularity.
+func TestIncrementalShadowModel(t *testing.T) {
+	for name, mk := range collectors() {
+		t.Run(name, func(t *testing.T) {
+			h := heap.New()
+			h.SetGCIncremental(true)
+			c := mk(h)
+			gctest.RandomOps(t, h, c, ops, 23)
+		})
+	}
+}
+
+// TestIncrementalMatchesStopTheWorld is the conformance pin for the
+// incremental mode's semantics: same seeded workload, same collector, with
+// and without incremental collection — the mutator statistics must be
+// identical and the surviving object multiset after a final synchronizing
+// collection must be identical, including with parallel tracing workers
+// serving the stop-the-world portions of the incremental run.
+func TestIncrementalMatchesStopTheWorld(t *testing.T) {
+	for name, mk := range collectors() {
+		for _, census := range []bool{false, true} {
+			var opts []heap.Option
+			if census {
+				opts = append(opts, heap.WithCensus())
+			}
+			hs := heap.New(opts...)
+			hs.SetGCIncremental(false)
+			cs := mk(hs)
+			gctest.RandomOps(t, hs, cs, ops, 23)
+			synchronize(cs)
+			stwCensus := liveCensus(hs, cs)
+
+			for _, workers := range []int{0, 4} {
+				t.Run(fmt.Sprintf("%s/census=%v/workers=%d", name, census, workers), func(t *testing.T) {
+					hi, ci := incrementalRun(t, mk, 23, census, workers)
+					if hi.Stats != hs.Stats {
+						t.Errorf("mutator stats diverge:\n  incremental    %+v\n  stop-the-world %+v", hi.Stats, hs.Stats)
+					}
+					incrCensus := liveCensus(hi, ci)
+					if len(incrCensus) != len(stwCensus) {
+						t.Fatalf("live census size diverges: incremental %d objects, stop-the-world %d",
+							len(incrCensus), len(stwCensus))
+					}
+					for i := range stwCensus {
+						if incrCensus[i] != stwCensus[i] {
+							t.Errorf("live census diverges at object %d:\n  incremental    %s\n  stop-the-world %s",
+								i, incrCensus[i], stwCensus[i])
+							break
+						}
+					}
+					if err := heap.VerifyCollector(hi, ci); err != nil {
+						t.Errorf("incremental heap fails verification: %v", err)
+					}
+				})
+			}
+		}
+	}
+}

@@ -57,6 +57,9 @@ func FuzzCollectors(f *testing.F) {
 		if err := RunAllAt(prog, census, fuzzGCWorkers(prog)); err != nil {
 			t.Fatalf("parallel tracing: %v", err)
 		}
+		if err := RunAllIncr(prog, census); err != nil {
+			t.Fatalf("incremental: %v", err)
+		}
 	})
 }
 
@@ -100,6 +103,9 @@ func TestSeedCorpus(t *testing.T) {
 			}
 			if err := RunAllAt(prog, census, 4); err != nil {
 				t.Errorf("%s (census=%v, gcworkers=4): %v", e.Name(), census, err)
+			}
+			if err := RunAllIncr(prog, census); err != nil {
+				t.Errorf("%s (census=%v, incremental): %v", e.Name(), census, err)
 			}
 		}
 	}

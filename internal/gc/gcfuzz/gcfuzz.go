@@ -172,14 +172,23 @@ type fullCollector interface{ FullCollect() }
 // census turns on per-object birth stamps, doubling as a check that the
 // hidden census word never confuses a collector.
 func Run(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (heap.Stats, error) {
-	return runWith(prog, mk, census, nil, 0)
+	return runWith(prog, mk, census, nil, 0, false)
 }
 
 // RunAt is Run with the heap configured for gcWorkers parallel tracing
 // workers (0 = the sequential engines). The property set is unchanged:
 // parallel tracing must be invisible to every invariant checked here.
 func RunAt(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, gcWorkers int) (heap.Stats, error) {
-	return runWith(prog, mk, census, nil, gcWorkers)
+	return runWith(prog, mk, census, nil, gcWorkers, false)
+}
+
+// RunIncr is Run with the heap in incremental collection mode (insertion
+// barrier, mark slices, lazy sweeping) for the collectors that support it;
+// the others ignore the flag. The property set is unchanged — in particular
+// the shadow-model comparison and the final whole-heap Check must hold with
+// collection interleaved into the mutator at slice granularity.
+func RunIncr(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (heap.Stats, error) {
+	return runWith(prog, mk, census, nil, 0, true)
 }
 
 // RunWith is Run with an instrumentation hook: when wrap is non-nil, the
@@ -189,10 +198,10 @@ func RunAt(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, gcWor
 // in here — cmd/gcfuzz -emit-trace exports a byte program as a trace —
 // without this package importing the trace codec.
 func RunWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wrap func(h *heap.Heap, c heap.Collector) heap.Collector) (heap.Stats, error) {
-	return runWith(prog, mk, census, wrap, 0)
+	return runWith(prog, mk, census, wrap, 0, false)
 }
 
-func runWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wrap func(h *heap.Heap, c heap.Collector) heap.Collector, gcWorkers int) (heap.Stats, error) {
+func runWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wrap func(h *heap.Heap, c heap.Collector) heap.Collector, gcWorkers int, incremental bool) (heap.Stats, error) {
 	if len(prog) > MaxProgram {
 		prog = prog[:MaxProgram]
 	}
@@ -202,6 +211,7 @@ func runWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wra
 	}
 	h := heap.New(opts...)
 	h.SetGCWorkers(gcWorkers)
+	h.SetGCIncremental(incremental)
 	c := mk(h)
 	drive := c
 	if wrap != nil {
@@ -286,6 +296,28 @@ func RunAllAt(prog []byte, census bool, gcWorkers int) error {
 		} else if stats != first {
 			return fmt.Errorf("%s: mutator stats diverged: %+v, %s got %+v",
 				nc.Name, first, Collectors()[0].Name, stats)
+		}
+	}
+	return nil
+}
+
+// RunAllIncr runs prog against every collector in incremental mode and
+// additionally pins the mutator statistics identical to the stop-the-world
+// run of the same program on the same collector: incremental collection must
+// be invisible to the mutator.
+func RunAllIncr(prog []byte, census bool) error {
+	for _, nc := range Collectors() {
+		stw, err := Run(prog, nc.New, census)
+		if err != nil {
+			return fmt.Errorf("%s (stw): %w", nc.Name, err)
+		}
+		incr, err := RunIncr(prog, nc.New, census)
+		if err != nil {
+			return fmt.Errorf("%s (incremental): %w", nc.Name, err)
+		}
+		if stw != incr {
+			return fmt.Errorf("%s: incremental mutator stats diverged from stop-the-world: %+v vs %+v",
+				nc.Name, incr, stw)
 		}
 	}
 	return nil

@@ -169,7 +169,7 @@ func (c *Collector) minor() {
 	c.stats.Collections++
 	c.stats.WordsCopied += e.WordsCopied
 	c.stats.WordsPromoted += e.WordsCopied
-	c.stats.AddPause(e.WordsCopied)
+	c.h.AddPause(&c.stats, e.WordsCopied)
 	c.stats.NoteLive(c.oldFrom.Used())
 	c.notePeak()
 	c.h.AfterGC()
@@ -203,7 +203,7 @@ func (c *Collector) major(need int) {
 	c.stats.Collections++
 	c.stats.MajorCollections++
 	c.stats.WordsCopied += e.WordsCopied
-	c.stats.AddPause(e.WordsCopied)
+	c.h.AddPause(&c.stats, e.WordsCopied)
 	c.stats.NoteLive(c.oldFrom.Used())
 	c.notePeak()
 

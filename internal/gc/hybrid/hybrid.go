@@ -299,7 +299,7 @@ func (c *Collector) minor() {
 	c.stats.Collections++
 	c.stats.WordsCopied += e.WordsCopied
 	c.stats.WordsPromoted += e.WordsCopied
-	c.stats.AddPause(e.WordsCopied)
+	c.h.AddPause(&c.stats, e.WordsCopied)
 	c.notePeaks()
 	c.h.AfterGC()
 }
@@ -399,7 +399,7 @@ func (c *Collector) npCollect() {
 	c.stats.Collections++
 	c.stats.MajorCollections++
 	c.stats.WordsCopied += copied
-	c.stats.AddPause(copied)
+	c.h.AddPause(&c.stats, copied)
 	c.stats.NoteLive(c.st.LiveStepWords())
 	c.notePeaks()
 	c.h.AfterGC()
@@ -464,7 +464,7 @@ func (c *Collector) PromoteAllToStatic() {
 	c.stats.Collections++
 	c.stats.MajorCollections++
 	c.stats.WordsCopied += e.WordsCopied
-	c.stats.AddPause(e.WordsCopied)
+	c.h.AddPause(&c.stats, e.WordsCopied)
 	c.notePeaks()
 	c.h.AfterGC()
 }

@@ -47,6 +47,16 @@ type Collector struct {
 	liveBuf []*heap.Space
 
 	expand float64
+
+	// Incremental-mode state (incremental.go); incr is nil in
+	// stop-the-world mode and every incremental hook is compiled out of the
+	// hot paths behind that one check.
+	incr         *heap.IncrMarker
+	phase        int
+	nextCycle    uint64
+	sweepDebt    int
+	lastLive     uint64
+	sweepPending func(s *heap.Space, off int) bool
 }
 
 // Option configures the collector.
@@ -76,6 +86,9 @@ func New(h *heap.Heap, words int, opts ...Option) *Collector {
 	}
 	c.addSpace(words)
 	h.SetAllocator(c)
+	if h.GCIncremental() {
+		c.incrInit()
+	}
 	return c
 }
 
@@ -104,10 +117,19 @@ func (c *Collector) Live() int {
 // VerifySpec implements heap.Verifiable: every blocked space and every live
 // large-object space is live (the collector never moves objects). Pooled
 // large-object spaces are scratch and deliberately absent. There is no
-// remembered set.
+// remembered set. In incremental mode the spec also declares the current
+// phase: mid-mark bits are legitimate while marking, and during the lazy
+// sweep the marks on still-unswept blocks are authoritative.
 func (c *Collector) VerifySpec() heap.VerifySpec {
 	c.liveBuf = c.los.AppendLive(append(c.liveBuf[:0], c.spaces...))
-	return heap.VerifySpec{Live: c.liveBuf}
+	spec := heap.VerifySpec{Live: c.liveBuf}
+	switch c.phase {
+	case msMarking:
+		spec.MarkingActive = true
+	case msSweeping:
+		spec.SweepPending = c.sweepPending
+	}
+	return spec
 }
 
 // HeapWords returns the total capacity of the blocked spaces. Large-object
@@ -124,6 +146,9 @@ func (c *Collector) HeapWords() int {
 // AllocRaw implements heap.Allocator.
 func (c *Collector) AllocRaw(t heap.Type, payload int) heap.Word {
 	total := 1 + payload + c.h.ExtraWords()
+	if c.incr != nil {
+		return c.allocRawIncr(t, payload, total)
+	}
 	if total > heap.LargeObjectWords {
 		return c.allocLarge(t, payload, total)
 	}
@@ -190,8 +215,16 @@ func (c *Collector) tryAlloc(n int) (*heap.Space, int, bool) {
 
 // Collect implements heap.Collector: mark from roots into the side bitmaps,
 // then sweep every blocked space block by block (in parallel when the heap
-// has tracing workers) and probe each large object's mark bit.
+// has tracing workers) and probe each large object's mark bit. The recorded
+// pause is the full collection's work — words marked plus words swept —
+// since the mutator waits for all of it. In incremental mode an explicit
+// collection is still this stop-the-world routine, entered through stwReset
+// so any in-progress cycle is resolved first.
 func (c *Collector) Collect() {
+	var pause uint64
+	if c.incr != nil {
+		pause = c.stwReset()
+	}
 	m := c.marker
 	c.liveBuf = c.los.AppendLive(append(c.liveBuf[:0], c.spaces...))
 	m.SetRegion(c.liveBuf...)
@@ -200,12 +233,17 @@ func (c *Collector) Collect() {
 	c.stats.WordsMarked += m.WordsMarked
 	c.stats.Collections++
 	c.stats.MajorCollections++
-	c.stats.AddPause(m.WordsMarked)
 	c.stats.NoteLive(int(m.WordsMarked))
-	c.stats.WordsSwept += c.sweeper.Sweep(c.spaces...)
-	c.stats.WordsSwept += c.los.Sweep()
+	swept := c.sweeper.Sweep(c.spaces...)
+	swept += c.los.Sweep()
+	c.stats.WordsSwept += swept
+	c.h.AddPause(&c.stats, pause+m.WordsMarked+swept)
 	for i := range c.hint {
 		c.hint[i] = 0
+	}
+	if c.incr != nil {
+		c.lastLive = m.WordsMarked
+		c.scheduleNext()
 	}
 	c.h.AfterGC()
 }

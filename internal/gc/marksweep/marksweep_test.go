@@ -8,14 +8,17 @@ import (
 	"rdgc/internal/heap"
 )
 
-// TestMain seeds the parallel-engine defaults from the environment, the
-// same way the drivers do, so CI can re-run this package's whole suite
-// with the 4-worker mark and block sweep under the race detector
-// (RDGC_GC_WORKERS=4): the determinism contract says every test must pass
-// unchanged at any worker count.
+// TestMain seeds the parallel-engine and incremental defaults from the
+// environment, the same way the drivers do, so CI can re-run this
+// package's whole suite with the 4-worker mark and block sweep under the
+// race detector (RDGC_GC_WORKERS=4) and again with incremental collection
+// (RDGC_GC_INCR=1): the determinism contract says every test must pass
+// unchanged under any engine configuration.
 func TestMain(m *testing.M) {
 	heap.SetDefaultGCWorkers(heap.GCWorkersFromEnv())
 	heap.SetDefaultGCLAB(heap.GCLABFromEnv())
+	heap.SetDefaultGCIncremental(heap.GCIncrFromEnv())
+	heap.SetDefaultGCSliceBudget(heap.GCSliceFromEnv())
 	os.Exit(m.Run())
 }
 

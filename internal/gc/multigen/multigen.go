@@ -232,7 +232,7 @@ func (c *Collector) collectUpTo(m int) {
 	c.stats.Collections++
 	c.stats.WordsCopied += e.WordsCopied
 	c.stats.WordsPromoted += e.WordsCopied
-	c.stats.AddPause(e.WordsCopied)
+	c.h.AddPause(&c.stats, e.WordsCopied)
 	c.notePeak()
 	c.h.AfterGC()
 }
@@ -263,7 +263,7 @@ func (c *Collector) major() {
 	c.stats.Collections++
 	c.stats.MajorCollections++
 	c.stats.WordsCopied += e.WordsCopied
-	c.stats.AddPause(e.WordsCopied)
+	c.h.AddPause(&c.stats, e.WordsCopied)
 	c.stats.NoteLive(c.gens[last].Used())
 	c.notePeak()
 

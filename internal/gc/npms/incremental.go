@@ -1,0 +1,217 @@
+package npms
+
+import (
+	"sort"
+
+	"rdgc/internal/heap"
+)
+
+// Incremental mode (heap.SetGCIncremental / -gcincr) for the non-predictive
+// mark/sweep collector: the mark of steps j+1..k runs in bounded slices
+// behind the insertion barrier, and the per-step sweeps are deferred and
+// run one step at a time — on demand when allocation descends into a
+// pending step, or paced off the allocation clock.
+//
+// The cycle's root set is the heap roots plus the remembered set, both
+// scanned when the cycle starts. The barrier keeps this complete while the
+// mutator runs: any pointer into the collected region stored anywhere in
+// the heap is shaded immediately (remembered-set completeness guarantees
+// every young object already holding region pointers was scanned at cycle
+// start, so only new stores need covering), and root slots — which are not
+// barriered — are re-scanned by the termination phase.
+//
+// Renaming needs each collected step's surviving occupancy before any
+// sweep has run, so incremental termination orders steps by
+// Space.MarkedLiveWords, which equals the post-sweep LiveWords the
+// stop-the-world path sorts by: the renaming, and therefore the step
+// structure, is identical in both modes.
+//
+// Compaction stays stop-the-world: an explicit or fallback collection
+// first resolves any in-progress cycle (stwReset), exactly like the plain
+// mark/sweep collector.
+
+// Collection phases of the incremental cycle.
+const (
+	npIdle     = iota // between cycles
+	npMarking         // slices running; barrier shading; marks partial
+	npSweeping        // mark complete; marks authoritative on pending steps
+)
+
+// incrInit arms incremental mode on a freshly built collector.
+func (c *Collector) incrInit() {
+	c.incr = heap.NewIncrMarker(c.h, c.marker)
+	c.phase = npIdle
+	c.pend = make([]bool, len(c.h.Spaces))
+	c.incrMarkRemset = func(obj heap.Word) {
+		c.stats.RemsetScanned++
+		s := c.h.SpaceOf(obj)
+		off := heap.PtrOff(obj)
+		c.remsetScanWords += uint64(heap.ObjWords(s.Mem[off]))
+		heap.ScanObject(s, off, c.marker.Slot())
+	}
+	c.sweepPending = func(s *heap.Space, _ int) bool {
+		return int(s.ID) < len(c.pend) && c.pend[s.ID]
+	}
+}
+
+// idxTrigger is the allocation-cursor position that starts the next cycle:
+// once allocation has descended past the fuller half of the steps, the
+// emptier half remains as runway for the 4:1-paced mark to terminate.
+func (c *Collector) idxTrigger() int {
+	return (len(c.steps) - c.j) / 2
+}
+
+// incrTick advances the incremental cycle by one allocation of n words.
+func (c *Collector) incrTick(n int) {
+	switch c.phase {
+	case npIdle:
+		if c.allocIdx <= c.idxTrigger() {
+			c.startCycle()
+		}
+	case npMarking:
+		if c.incr.NeedSlice(n) {
+			c.h.AddPause(&c.stats, c.incr.RunSlice())
+			if c.incr.Done() {
+				c.finishMark()
+			}
+		}
+	case npSweeping:
+		// Pace the deferred step sweeps off the allocation clock, and flush
+		// them entirely if the next cycle's trigger arrives first: a cycle
+		// may only start on a fully swept heap.
+		c.sweepDebt += n
+		if c.sweepDebt >= c.stepWords/2 {
+			c.sweepDebt = 0
+			c.lazySweepNext()
+		}
+		if c.pendCount > 0 && c.allocIdx <= c.idxTrigger() {
+			for c.pendCount > 0 {
+				c.lazySweepNext()
+			}
+		}
+		if c.pendCount == 0 {
+			c.phase = npIdle
+		}
+	}
+}
+
+// lazySweepStep sweeps one pending step now (its own recorded pause) and
+// clears its pending flag.
+func (c *Collector) lazySweepStep(s *heap.Space) {
+	c.pend[s.ID] = false
+	c.pendCount--
+	words := uint64(c.sweep(s))
+	c.stats.WordsSwept += words
+	c.h.AddPause(&c.stats, words)
+}
+
+// lazySweepNext sweeps the youngest (emptiest, last to be reached by the
+// descending allocation cursor) still-pending step.
+func (c *Collector) lazySweepNext() {
+	for _, s := range c.steps {
+		if c.pend[s.ID] {
+			c.lazySweepStep(s)
+			return
+		}
+	}
+}
+
+// startCycle begins an incremental mark of steps j+1..k: region armed,
+// heap roots and the remembered set scanned gray. That scan is the cycle's
+// first pause, sized by the root slots plus the footprint of the
+// remembered objects scanned.
+func (c *Collector) startCycle() {
+	m := c.marker
+	m.SetRegion(c.steps[c.j:]...)
+	m.Begin()
+	c.phase = npMarking
+	roots := c.incr.StartRoots()
+	c.remsetScanWords = 0
+	c.rs.ForEach(c.incrMarkRemset)
+	c.h.AddPause(&c.stats, roots+c.remsetScanWords)
+}
+
+// finishMark is the termination phase: re-scan the roots, drain the
+// remaining grays, rename the collected steps by their marked occupancy,
+// flag them for lazy sweeping, and rebuild the remembered set. The
+// remembered-set rebuild walk skips unmarked objects in pending steps —
+// they are dead storage the lazy sweep will free, and remembering them
+// would leave the next cycle scanning freed (and possibly reallocated)
+// words.
+func (c *Collector) finishMark() {
+	j := c.j
+	m := c.marker
+	pause := c.incr.FinishDrain()
+
+	live := 0
+	for _, s := range c.steps[:j] {
+		live += heap.LiveWords(s)
+	}
+	collected := c.steps[j:]
+	for _, s := range collected {
+		live += s.MarkedLiveWords()
+		c.pend[s.ID] = true
+		c.pendCount++
+	}
+	c.renameByMarks(collected)
+
+	c.stats.Collections++
+	c.stats.MajorCollections++
+	c.stats.WordsMarked += m.WordsMarked
+	c.stats.NoteLive(live)
+	c.phase = npSweeping
+	c.sweepDebt = 0
+	c.finishCollection()
+	c.h.AddPause(&c.stats, pause)
+	c.h.AfterGC()
+}
+
+// renameByMarks is the incremental rename: ascending marked occupancy,
+// which equals the post-sweep occupancy the stop-the-world rename sorts
+// by, so both modes produce the same step order.
+func (c *Collector) renameByMarks(collected []*heap.Space) {
+	type occ struct {
+		s    *heap.Space
+		live int
+	}
+	byOcc := make([]occ, len(collected))
+	for i, s := range collected {
+		byOcc[i] = occ{s, s.MarkedLiveWords()}
+	}
+	sort.SliceStable(byOcc, func(a, b int) bool { return byOcc[a].live < byOcc[b].live })
+	renamed := make([]*heap.Space, 0, len(c.steps))
+	for _, o := range byOcc {
+		renamed = append(renamed, o.s)
+	}
+	c.steps = append(renamed, c.steps[:c.j]...)
+	c.rebuildPos()
+}
+
+// stwReset returns the collector to the between-cycles state a
+// stop-the-world collection (mark/sweep or compacting) requires, returning
+// the pause words the reset cost: a cycle caught marking is abandoned with
+// its partial marks cleared; pending step sweeps are completed.
+func (c *Collector) stwReset() uint64 {
+	if c.incr == nil {
+		return 0
+	}
+	switch c.phase {
+	case npMarking:
+		c.incr.Cancel()
+		heap.ClearMarks(c.steps[c.j:]...)
+	case npSweeping:
+		var flushed uint64
+		for _, s := range c.steps {
+			if c.pend[s.ID] {
+				c.pend[s.ID] = false
+				c.pendCount--
+				flushed += uint64(c.sweep(s))
+			}
+		}
+		c.stats.WordsSwept += flushed
+		c.phase = npIdle
+		return flushed
+	}
+	c.phase = npIdle
+	return 0
+}

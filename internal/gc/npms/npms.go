@@ -57,6 +57,17 @@ type Collector struct {
 	targetsBuf []*heap.Space
 
 	stats heap.GCStats
+
+	// Incremental-mode state (incremental.go); incr is nil in
+	// stop-the-world mode.
+	incr            *heap.IncrMarker
+	phase           int
+	pend            []bool // SpaceID -> step sweep still pending
+	pendCount       int
+	sweepDebt       int
+	remsetScanWords uint64
+	incrMarkRemset  func(obj heap.Word)
+	sweepPending    func(s *heap.Space, off int) bool
 }
 
 // Option configures the collector.
@@ -112,6 +123,9 @@ func New(h *heap.Heap, k, stepWords int, opts ...Option) *Collector {
 	}
 	h.SetAllocator(c)
 	h.SetBarrier(c)
+	if h.GCIncremental() {
+		c.incrInit()
+	}
 	return c
 }
 
@@ -158,9 +172,11 @@ func (c *Collector) RemsetLen() int { return c.rs.Len() }
 
 // VerifySpec implements heap.Verifiable: the k steps are live (shadows are
 // scratch), and every object in steps 1..j pointing into steps j+1..k must
-// be remembered.
+// be remembered. In incremental mode the spec also declares the phase:
+// mid-mark bits are legitimate while marking, and marks on steps whose
+// sweep is still pending are authoritative (unmarked there means dead).
 func (c *Collector) VerifySpec() heap.VerifySpec {
-	return heap.VerifySpec{
+	spec := heap.VerifySpec{
 		Live: c.steps,
 		Remsets: []heap.RemsetRule{{
 			Name: "young->old",
@@ -171,6 +187,13 @@ func (c *Collector) VerifySpec() heap.VerifySpec {
 			Has: c.rs.Contains,
 		}},
 	}
+	switch c.phase {
+	case npMarking:
+		spec.MarkingActive = true
+	case npSweeping:
+		spec.SweepPending = c.sweepPending
+	}
+	return spec
 }
 
 func (c *Collector) rebuildPos() {
@@ -194,10 +217,15 @@ func (c *Collector) posOf(w heap.Word) int {
 }
 
 // RecordWrite implements heap.Barrier: objects in steps 1..j that receive a
-// pointer into steps j+1..k enter the remembered set.
+// pointer into steps j+1..k enter the remembered set, and while an
+// incremental mark is active the stored value is shaded (Dijkstra
+// insertion invariant over the collected region).
 func (c *Collector) RecordWrite(obj, val heap.Word) {
 	if !heap.IsPtr(val) {
 		return
+	}
+	if c.incr != nil {
+		c.incr.Shade(val, &c.stats)
 	}
 	po := c.posOf(obj)
 	if po >= 0 && po < c.j && c.posOf(val) >= c.j {
@@ -221,6 +249,10 @@ func (c *Collector) setNextFree(s *heap.Space, off, next int) {
 }
 
 func (c *Collector) tryAllocIn(s *heap.Space, n int) (int, bool) {
+	if c.incr != nil && c.pend[s.ID] {
+		// The step's free list is stale until its deferred sweep runs.
+		c.lazySweepStep(s)
+	}
 	prev := noBlock
 	for off := c.freeHead[s.ID]; off != noBlock; {
 		hdr := s.Mem[off]
@@ -256,6 +288,9 @@ func (c *Collector) AllocRaw(t heap.Type, payload int) heap.Word {
 	if total > c.stepWords {
 		panic(fmt.Sprintf("npms: object of %d words exceeds the step size %d", total, c.stepWords))
 	}
+	if c.incr != nil {
+		c.incrTick(total)
+	}
 	for attempt := 0; ; attempt++ {
 		for c.allocIdx >= 0 {
 			s := c.steps[c.allocIdx]
@@ -263,6 +298,14 @@ func (c *Collector) AllocRaw(t heap.Type, payload int) heap.Word {
 				return c.h.InitObject(s, off, t, payload)
 			}
 			c.allocIdx--
+		}
+		if c.incr != nil && c.phase == npMarking {
+			// Allocation pressure beat the mark pacing: terminate the cycle
+			// now — the termination pause is only the remaining gray work,
+			// where the stop-the-world fallback below would re-mark
+			// everything — then retry with the collected steps sweepable.
+			c.finishMark()
+			continue
 		}
 		switch attempt {
 		case 0:
@@ -288,6 +331,7 @@ func (c *Collector) Collect() {
 }
 
 func (c *Collector) markSweepCollect() {
+	reset := c.stwReset()
 	j := c.j
 	m := c.marker
 	m.SetRegion(c.steps[j:]...)
@@ -307,7 +351,7 @@ func (c *Collector) markSweepCollect() {
 	c.stats.MajorCollections++
 	c.stats.WordsMarked += m.WordsMarked
 	c.stats.WordsSwept += swept
-	c.stats.AddPause(m.WordsMarked)
+	c.h.AddPause(&c.stats, reset+m.WordsMarked+swept)
 	c.stats.NoteLive(c.Live())
 	c.finishCollection()
 	c.h.AfterGC()
@@ -317,6 +361,7 @@ func (c *Collector) markSweepCollect() {
 // (filled from the new oldest position downward, as in the copying
 // collector), then renames.
 func (c *Collector) compact() {
+	reset := c.stwReset()
 	j := c.j
 	k := len(c.steps)
 	nNew := k - j
@@ -370,7 +415,7 @@ func (c *Collector) compact() {
 	c.stats.Collections++
 	c.stats.MajorCollections++
 	c.stats.WordsCopied += e.WordsCopied
-	c.stats.AddPause(e.WordsCopied)
+	c.h.AddPause(&c.stats, reset+e.WordsCopied)
 	c.stats.NoteLive(c.Live())
 	c.finishCollection()
 	c.h.AfterGC()
@@ -399,6 +444,13 @@ func (c *Collector) finishCollection() {
 		s := c.steps[p]
 		heap.WalkSpace(s, func(off int, hdr heap.Word) bool {
 			if heap.HeaderType(hdr) == heap.TFree {
+				return true
+			}
+			if c.incr != nil && c.pend[s.ID] && !s.MarkedAt(off) {
+				// Dead storage in a step whose sweep is still pending:
+				// remembering it would leave the next cycle scanning words
+				// the lazy sweep is about to free (and reallocation to
+				// repurpose).
 				return true
 			}
 			found := false

@@ -103,7 +103,7 @@ func (c *Collector) collect(need int) {
 	c.stats.Collections++
 	c.stats.MajorCollections++
 	c.stats.WordsCopied += e.WordsCopied
-	c.stats.AddPause(e.WordsCopied)
+	c.h.AddPause(&c.stats, e.WordsCopied)
 	c.stats.NoteLive(c.from.Used())
 
 	if c.expand > 0 {

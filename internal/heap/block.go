@@ -72,6 +72,28 @@ type BlockTable struct {
 	// placement bit-identical: only blocks that cannot satisfy the request
 	// are skipped.
 	MaxRun []int32
+	// Unswept is a bitset (one bit per block) of blocks whose free lists are
+	// stale because a completed mark has not yet been swept into them. The
+	// lazy sweep (sweep.go) sets every bit at termination and clears each
+	// block's bit when it is swept — on demand from the allocation path, or
+	// by the paced background scan. A set bit means FreeHead/MaxRun and the
+	// block's mark bits must not be trusted until EnsureSwept runs.
+	Unswept []uint64
+}
+
+// UnsweptAt reports whether block b awaits a lazy sweep.
+func (bt *BlockTable) UnsweptAt(b int) bool {
+	return bt.Unswept[b>>6]&(1<<(uint(b)&63)) != 0
+}
+
+// setUnswept flags block b as awaiting a lazy sweep.
+func (bt *BlockTable) setUnswept(b int) {
+	bt.Unswept[b>>6] |= 1 << (uint(b) & 63)
+}
+
+// clearUnswept drops block b's pending-sweep flag.
+func (bt *BlockTable) clearUnswept(b int) {
+	bt.Unswept[b>>6] &^= 1 << (uint(b) & 63)
 }
 
 // NumBlocks returns the number of blocks the space's capacity spans.
@@ -108,6 +130,7 @@ func (h *Heap) NewBlockedSpace(name string, words int) *Space {
 	s.Blocks = &BlockTable{
 		FreeHead: make([]int32, s.NumBlocks()),
 		MaxRun:   make([]int32, s.NumBlocks()),
+		Unswept:  make([]uint64, (s.NumBlocks()+63)/64),
 	}
 	s.Top = s.Cap()
 	for b := 0; b < s.NumBlocks(); b++ {
@@ -297,6 +320,38 @@ func (s *Space) clearBlockMarks(b int) {
 		mw[i] = 0
 	}
 	andNotUint64(&s.dirty[b>>6], 1<<(uint(b)&63))
+}
+
+// MarkedLiveWords returns the total footprint (header plus payload words)
+// of the marked objects in the space, walking only dirty blocks' bitmap
+// spans. Collectors that size or order spaces by survivors (the
+// non-predictive mark/sweep's rename pass) use it to read live occupancy
+// straight off the marks, before any sweep has rebuilt the free lists.
+func (s *Space) MarkedLiveWords() int {
+	live := 0
+	for di, d := range s.dirty {
+		if d == 0 {
+			continue
+		}
+		for d != 0 {
+			b := di<<6 + bits.TrailingZeros64(d)
+			d &= d - 1
+			lo := b * markWordsPerBlock
+			hi := lo + markWordsPerBlock
+			if hi > len(s.marks) {
+				hi = len(s.marks)
+			}
+			for mi := lo; mi < hi; mi++ {
+				w := s.marks[mi]
+				for w != 0 {
+					off := mi<<6 + bits.TrailingZeros64(w)
+					w &= w - 1
+					live += ObjWords(s.Mem[off])
+				}
+			}
+		}
+	}
+	return live
 }
 
 // MarksClear reports whether no mark bit is set anywhere in the space. The

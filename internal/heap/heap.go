@@ -58,6 +58,13 @@ type GCStats struct {
 	RemsetPeak       int    // largest remembered set observed
 	RemsetScanned    uint64 // remembered-set entries traced as roots
 	PeakLive         int    // largest post-collection occupancy observed
+	BarrierShades    uint64 // objects shaded gray by the incremental write barrier
+
+	// Pauses is the histogram of every mutator-visible pause: one entry per
+	// stop-the-world collection, and in incremental mode one entry per mark
+	// slice, termination phase, and on-demand sweep. Its TotalWords/MaxWords
+	// mirror TotalPauseWords/MaxPauseWords.
+	Pauses PauseHist
 }
 
 // NoteLive records a post-collection occupancy measurement.
@@ -82,7 +89,24 @@ func (g *GCStats) AddPause(words uint64) {
 	if words > g.MaxPauseWords {
 		g.MaxPauseWords = words
 	}
+	g.Pauses.Record(words)
 }
+
+// AddPause records one mutator-visible pause into g and, when a pause log is
+// installed on the heap, streams the raw value to it. Collectors route every
+// pause through here so `gcbench -pauselog` sees slices, termination phases,
+// and on-demand sweeps exactly as the histogram does.
+func (h *Heap) AddPause(g *GCStats, words uint64) {
+	g.AddPause(words)
+	if h.pauseLog != nil {
+		h.pauseLog(words)
+	}
+}
+
+// SetPauseLog installs f to receive every pause recorded via Heap.AddPause,
+// in order; nil removes it. The raw stream is deliberately kept off GCStats
+// so that struct stays comparable.
+func (h *Heap) SetPauseLog(f func(words uint64)) { h.pauseLog = f }
 
 // Heap is the substrate shared by every collector: the space table, the
 // rooted reference stacks, the write-barrier hook, the symbol table, and
@@ -117,6 +141,19 @@ type Heap struct {
 	// sized in whole blocks (parevac.go); it has no effect below 2 workers.
 	// New seeds it from the package default; SetGCLAB overrides per heap.
 	gcLAB bool
+
+	// gcIncr opts collectors that support it into incremental collection:
+	// marking proceeds in bounded slices between mutator operations behind a
+	// Dijkstra insertion barrier, and sweeping happens block-by-block on the
+	// allocation path. gcSlice is the per-slice mark budget in words. New
+	// seeds both from the package defaults; SetGCIncremental overrides per
+	// heap.
+	gcIncr  bool
+	gcSlice int
+
+	// pauseLog, when non-nil, receives the raw words-of-work of every pause
+	// recorded through Heap.AddPause (the -pauselog stream).
+	pauseLog func(words uint64)
 
 	// collectorLabel is the installed allocator's Name(), captured for
 	// pprof labels on parallel tracing workers.
@@ -160,6 +197,8 @@ func New(opts ...Option) *Heap {
 		symtab:    make(map[string]int),
 		gcWorkers: int(defaultGCWorkers.Load()),
 		gcLAB:     defaultGCLAB.Load(),
+		gcIncr:    defaultGCIncr.Load(),
+		gcSlice:   DefaultGCSliceBudget(),
 	}
 	for _, o := range opts {
 		o(h)

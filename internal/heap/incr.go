@@ -1,0 +1,264 @@
+package heap
+
+import (
+	"math"
+	"os"
+	"strconv"
+	"sync/atomic"
+)
+
+// Incremental collection configuration and the shared slice-scheduling
+// engine used by the incremental mark/sweep collectors.
+//
+// Incremental mode is an opt-in, per-heap configuration, mirroring the
+// parallel-tracing knobs in parallel.go: a heap with GCIncremental() ==
+// false (the default) collects stop-the-world exactly as before, and heaps
+// built by collectors that do not support incremental mode ignore the
+// setting. When enabled, a supporting collector splits each mark phase into
+// bounded slices interleaved with mutator allocation, keeps the tricolor
+// invariant with a Dijkstra-style insertion barrier on the heap store
+// paths, and sweeps blocks on demand from the allocation path — so every
+// mutator-visible pause is a slice, a termination phase, or a single-block
+// sweep instead of a whole-heap walk.
+
+// EnvGCIncr is the environment variable the drivers consult when their
+// -gcincr flag is left at its default: a truthy strconv.ParseBool value
+// enables incremental collection on supporting collectors.
+const EnvGCIncr = "RDGC_GC_INCR"
+
+// EnvGCSlice is the environment variable the drivers consult when their
+// -gcslice flag is left at its default: a positive integer sets the
+// words-per-slice mark budget.
+const EnvGCSlice = "RDGC_GC_SLICE"
+
+// DefaultSliceBudget is the words-per-slice mark budget used when neither
+// the flag nor the environment picks one: four blocks of mark work per
+// slice, small enough that slices undercut whole-heap pauses by orders of
+// magnitude on the benchmark heaps, large enough that slice scheduling
+// overhead stays invisible next to the marking itself.
+const DefaultSliceBudget = 4 * BlockWords
+
+// defaultGCIncr and defaultGCSlice seed every heap created by New,
+// mirroring defaultGCWorkers. A zero defaultGCSlice means "unset" and
+// resolves to DefaultSliceBudget.
+var (
+	defaultGCIncr  atomic.Bool
+	defaultGCSlice atomic.Int64
+)
+
+// SetDefaultGCIncremental sets the incremental-collection mode inherited by
+// heaps subsequently created with New.
+func SetDefaultGCIncremental(on bool) { defaultGCIncr.Store(on) }
+
+// DefaultGCIncremental returns the incremental mode New currently hands to
+// fresh heaps.
+func DefaultGCIncremental() bool { return defaultGCIncr.Load() }
+
+// SetDefaultGCSliceBudget sets the words-per-slice mark budget inherited by
+// heaps subsequently created with New. Values below 1 restore
+// DefaultSliceBudget.
+func SetDefaultGCSliceBudget(words int) {
+	if words < 1 {
+		words = 0
+	}
+	defaultGCSlice.Store(int64(words))
+}
+
+// DefaultGCSliceBudget returns the slice budget New currently hands to
+// fresh heaps.
+func DefaultGCSliceBudget() int {
+	if v := defaultGCSlice.Load(); v > 0 {
+		return int(v)
+	}
+	return DefaultSliceBudget
+}
+
+// GCIncrFromEnv reports whether RDGC_GC_INCR requests incremental
+// collection.
+func GCIncrFromEnv() bool {
+	if s := os.Getenv(EnvGCIncr); s != "" {
+		if on, err := strconv.ParseBool(s); err == nil {
+			return on
+		}
+	}
+	return false
+}
+
+// GCSliceFromEnv returns the slice budget requested by RDGC_GC_SLICE, or
+// DefaultSliceBudget when the variable is unset or not a positive integer.
+func GCSliceFromEnv() int {
+	if s := os.Getenv(EnvGCSlice); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return DefaultSliceBudget
+}
+
+// ResolveGCSlice implements the drivers' flag/env precedence for the slice
+// budget: a flag value >= 1 is explicit and wins, while the default
+// sentinel 0 defers to RDGC_GC_SLICE (which itself falls back to
+// DefaultSliceBudget).
+func ResolveGCSlice(flagValue int) int {
+	if flagValue >= 1 {
+		return flagValue
+	}
+	return GCSliceFromEnv()
+}
+
+// SetGCIncremental configures this heap's incremental-collection mode.
+func (h *Heap) SetGCIncremental(on bool) { h.gcIncr = on }
+
+// GCIncremental reports whether this heap requests incremental collection.
+func (h *Heap) GCIncremental() bool { return h.gcIncr }
+
+// SetGCSliceBudget configures this heap's words-per-slice mark budget.
+// Values below 1 restore DefaultSliceBudget.
+func (h *Heap) SetGCSliceBudget(words int) {
+	if words < 1 {
+		words = DefaultSliceBudget
+	}
+	h.gcSlice = words
+}
+
+// GCSliceBudget reports this heap's words-per-slice mark budget.
+func (h *Heap) GCSliceBudget() int { return h.gcSlice }
+
+// incrMarkRatio is how many words of marking each slice retires per word
+// the mutator allocated since the previous slice: with budget B, a slice of
+// B words runs every B/incrMarkRatio allocated words. Marking therefore
+// outpaces allocation 4:1, so a cycle started with half the heap free
+// always terminates before allocation exhausts the free half — the same
+// safety argument as Baker's incremental collector, in words instead of
+// time.
+const incrMarkRatio = 4
+
+// IncrMarker schedules a Marker's work into bounded slices. The embedding
+// collector owns the phase machine (when a cycle starts, what termination
+// and sweeping look like); IncrMarker owns what is common to every
+// incremental collector: the allocation-debt pacing, the slice drains, the
+// barrier shading, and the per-cycle work accounting.
+//
+// All marking — slices and the termination drain alike — runs through the
+// sequential Marker.DrainBudget, whatever the heap's worker count: a
+// slice's recorded pause must equal the work the mutator waited for, which
+// the parallel engines' counters cannot promise. The parallel drains still
+// serve the stop-the-world paths of the same collectors.
+type IncrMarker struct {
+	H *Heap
+	M *Marker
+
+	// Active is true from StartRoots until FinishDrain or Cancel: the
+	// window in which the insertion barrier must shade.
+	Active bool
+
+	// Budget is the words-per-slice mark budget, captured from the heap at
+	// StartRoots so a mid-cycle SetGCSliceBudget cannot starve termination.
+	Budget int
+
+	// debt is the mutator allocation (in words) not yet paid for with
+	// marking. NeedSlice compares debt against Budget/incrMarkRatio.
+	debt int
+
+	// Slices and SliceWords account the cycle's incremental work: how many
+	// bounded drains ran and the words they scanned. FinishDrain's return
+	// value completes the cycle total.
+	Slices     int
+	SliceWords uint64
+
+	// countSlot counts and marks root slots; built once so root scans do
+	// not allocate per cycle.
+	countSlot func(slot *Word)
+	rootSlots uint64
+}
+
+// NewIncrMarker prepares a slice scheduler over m.
+func NewIncrMarker(h *Heap, m *Marker) *IncrMarker {
+	im := &IncrMarker{H: h, M: m}
+	mark := m.Slot()
+	im.countSlot = func(slot *Word) {
+		im.rootSlots++
+		mark(slot)
+	}
+	return im
+}
+
+// StartRoots begins an incremental cycle: the marker must already be armed
+// (Begin + region). It scans the roots, graying everything they reference,
+// and returns the pause words of the root scan (one word of work per root
+// slot visited). From here until FinishDrain or Cancel the collector's
+// barrier must Shade every pointer stored into the heap.
+func (im *IncrMarker) StartRoots() uint64 {
+	im.Active = true
+	im.Budget = im.H.gcSlice
+	im.debt = 0
+	im.Slices = 0
+	im.SliceWords = 0
+	im.rootSlots = 0
+	im.H.VisitRoots(im.countSlot)
+	return im.rootSlots
+}
+
+// Shade grays the stored value under the Dijkstra insertion invariant: any
+// pointer written into the heap while marking is active is marked before
+// the mutator proceeds, so a black object can never point to an
+// unreachable-looking white one. Values that are not pointers, lie outside
+// the cycle's region, or are already marked cost one predicate each.
+func (im *IncrMarker) Shade(v Word, g *GCStats) {
+	if !im.Active {
+		return
+	}
+	before := im.M.ObjectsMarked
+	im.M.MarkWord(v)
+	g.BarrierShades += uint64(im.M.ObjectsMarked - before)
+}
+
+// NeedSlice accrues allocWords of allocation debt and reports whether the
+// debt now warrants a slice: marking pays incrMarkRatio words per allocated
+// word, so the threshold is Budget/incrMarkRatio allocated words.
+func (im *IncrMarker) NeedSlice(allocWords int) bool {
+	if !im.Active {
+		return false
+	}
+	im.debt += allocWords
+	return im.debt*incrMarkRatio >= im.Budget
+}
+
+// RunSlice drains up to the slice budget and returns the words scanned
+// (the slice's pause size; the caller records it). The allocation debt
+// resets whether or not the stack emptied.
+func (im *IncrMarker) RunSlice() uint64 {
+	im.debt = 0
+	scanned := uint64(im.M.DrainBudget(im.Budget))
+	im.Slices++
+	im.SliceWords += scanned
+	return scanned
+}
+
+// Done reports whether the gray stack has emptied — the cue for the
+// collector to run its termination phase. New grays can still appear after
+// a true result (barrier shades, allocation in shared spaces), so
+// termination must drain again under FinishDrain.
+func (im *IncrMarker) Done() bool { return im.Active && im.M.StackEmpty() }
+
+// FinishDrain is the termination phase's marking: the roots are re-scanned
+// (root slots are not barriered — Refs mutate freely during the cycle) and
+// the stack drained to empty with no budget. The mutator is stopped for
+// the duration; the returned word count (root slots plus words scanned) is
+// the marking share of the termination pause. Marking is inactive after.
+func (im *IncrMarker) FinishDrain() uint64 {
+	im.rootSlots = 0
+	im.H.VisitRoots(im.countSlot)
+	scanned := uint64(im.M.DrainBudget(math.MaxInt))
+	im.Active = false
+	return im.rootSlots + scanned
+}
+
+// Cancel abandons the cycle without completing it: marking deactivates and
+// the gray stack empties. The caller must clear any mark bits already set
+// (ClearMarks over the cycle's region) before the next trace, or stale
+// marks would silently truncate it.
+func (im *IncrMarker) Cancel() {
+	im.Active = false
+	im.M.stack = im.M.stack[:0]
+}

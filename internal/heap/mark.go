@@ -209,6 +209,78 @@ func (m *Marker) Drain() {
 	}
 }
 
+// DrainBudget scans queued objects until at least budget words have been
+// scanned this call or the stack empties, and returns the words scanned. The
+// count charges each popped object its full footprint (ObjWords, raw
+// payloads included), so summing every slice's return value over a cycle —
+// plus the termination drain — reproduces WordsMarked exactly: each marked
+// object is pushed once and popped once.
+//
+// This is the incremental engine's only drain. It always runs sequentially
+// on the caller, whatever the heap's worker count: a slice's cost must equal
+// the words it reports, and the parallel engines' work counters cannot
+// promise that. Incremental marking trades tracing parallelism for bounded
+// pauses; the parallel engines still serve the stop-the-world collections.
+func (m *Marker) DrainBudget(budget int) int {
+	extra := m.H.extraWords
+	bounded := m.bounded
+	scanned := 0
+	var (
+		curID SpaceID
+		curS  *Space
+	)
+	lookup := func(id SpaceID) *Space {
+		if int(id) >= len(m.spaces) {
+			m.spaces = m.H.Spaces
+		}
+		curID = id
+		curS = m.spaces[id]
+		return curS
+	}
+	for len(m.stack) > 0 && scanned < budget {
+		w := m.stack[len(m.stack)-1]
+		m.stack = m.stack[:len(m.stack)-1]
+		id := PtrSpace(w)
+		s := curS
+		if id != curID || s == nil {
+			s = lookup(id)
+		}
+		mem := s.Mem
+		off := PtrOff(w)
+		hdr := mem[off]
+		scanned += ObjWords(hdr)
+		if RawPayload(HeaderType(hdr)) {
+			continue
+		}
+		for si, end := off+1+extra, off+ObjWords(hdr); si < end; si++ {
+			v := mem[si]
+			if !IsPtr(v) {
+				continue
+			}
+			vid := PtrSpace(v)
+			if bounded && !m.region.Has(vid) {
+				continue
+			}
+			vs := curS
+			if vid != curID || vs == nil {
+				vs = lookup(vid)
+			}
+			voff := PtrOff(v)
+			if vs.MarkedAt(voff) {
+				continue
+			}
+			vs.SetMarkAt(voff)
+			m.WordsMarked += uint64(ObjWords(vs.Mem[voff]))
+			m.ObjectsMarked++
+			m.stack = append(m.stack, v)
+		}
+	}
+	return scanned
+}
+
+// StackEmpty reports whether no gray objects remain queued.
+func (m *Marker) StackEmpty() bool { return len(m.stack) == 0 }
+
 // drainPredicate is the fused scan with the bound routed through the
 // InRegion escape hatch; the per-slot indirect call makes it slower than
 // Drain's bitset path, which is why SetRegion is the hot-path API.

@@ -1,0 +1,116 @@
+package heap
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// oracleQuantile is the nearest-rank quantile over the exact sample set.
+func oracleQuantile(sorted []uint64, q float64) uint64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// TestPauseHistQuantileVsOracle checks the documented resolution contract
+// against an exact sorted-slice oracle: for every quantile, the true value v
+// satisfies v <= Quantile(q) < 2v (exactly 0 for v == 0), and the bound
+// never exceeds the recorded maximum.
+func TestPauseHistQuantileVsOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		var h PauseHist
+		n := 1 + rng.Intn(400)
+		samples := make([]uint64, n)
+		for i := range samples {
+			switch rng.Intn(3) {
+			case 0:
+				samples[i] = uint64(rng.Intn(4)) // small, incl. zeros
+			case 1:
+				samples[i] = uint64(rng.Intn(1000))
+			default:
+				samples[i] = uint64(rng.Intn(1 << 20))
+			}
+			h.Record(samples[i])
+		}
+		sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+			v := oracleQuantile(samples, q)
+			got := h.Quantile(q)
+			if v == 0 {
+				if got != 0 {
+					t.Fatalf("trial %d q=%g: oracle 0, got %d", trial, q, got)
+				}
+				continue
+			}
+			if got < v || got >= 2*v {
+				t.Fatalf("trial %d q=%g: oracle %d, bound %d outside [v, 2v)", trial, q, v, got)
+			}
+			if got > h.MaxWords {
+				t.Fatalf("trial %d q=%g: bound %d exceeds max %d", trial, q, got, h.MaxWords)
+			}
+		}
+	}
+}
+
+func TestPauseHistCountersAndReset(t *testing.T) {
+	var h PauseHist
+	for _, w := range []uint64{0, 1, 5, 1024, 3} {
+		h.Record(w)
+	}
+	if h.Count != 5 || h.TotalWords != 1033 || h.MaxWords != 1024 {
+		t.Fatalf("counters wrong: %+v", h)
+	}
+	if h.Buckets[0] != 1 || h.Buckets[1] != 1 || h.Buckets[3] != 1 || h.Buckets[11] != 1 {
+		t.Fatalf("bucketing wrong: %v", h.Buckets)
+	}
+	h.Reset()
+	if h != (PauseHist{}) {
+		t.Fatalf("reset left state: %+v", h)
+	}
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("quantile of empty histogram not 0")
+	}
+}
+
+// TestPauseHistMerge pins that merging two histograms equals recording their
+// combined streams into one.
+func TestPauseHistMerge(t *testing.T) {
+	var a, b, both PauseHist
+	streamA := []uint64{0, 7, 7, 900, 1 << 30}
+	streamB := []uint64{2, 2, 511, 512}
+	for _, w := range streamA {
+		a.Record(w)
+		both.Record(w)
+	}
+	for _, w := range streamB {
+		b.Record(w)
+		both.Record(w)
+	}
+	a.Merge(&b)
+	if a != both {
+		t.Fatalf("merge diverges from combined recording:\n  merged: %+v\n  oracle: %+v", a, both)
+	}
+}
+
+// TestPauseHistRecordNoAllocs pins the record path allocation-free: it runs
+// on every mutator-visible pause, including incremental mode's sub-block
+// slices.
+func TestPauseHistRecordNoAllocs(t *testing.T) {
+	var h PauseHist
+	var w uint64
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.Record(w)
+		w = w*2 + 3
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates: %v allocs/op", allocs)
+	}
+}

@@ -37,6 +37,18 @@ type Sweeper struct {
 	// WordsSwept counts the words examined by the last Sweep: every word of
 	// every block, live or dead, matching the historical sweep accounting.
 	WordsSwept uint64
+
+	// Lazy-sweep state (incremental mode): after a mark completes,
+	// BeginLazy flags every block of the cycle's spaces as unswept instead
+	// of sweeping them, and the blocks are swept one at a time — on demand
+	// when allocation needs a block's free list (EnsureSwept), or paced in
+	// address order from the allocation clock (SweepPendingBlock). Each
+	// block is swept exactly once per cycle by the same sweepBlock routine
+	// the eager paths use, so the fully swept heap image is bit-identical
+	// to a stop-the-world sweep.
+	lazySpaces []*Space
+	lazyPend   int
+	lazyCursor int
 }
 
 // NewSweeper prepares a sweep engine for h.
@@ -109,6 +121,95 @@ func (sw *Sweeper) sweepParallel(workers, total int) uint64 {
 	sw.WordsSwept = sweptTotal.Load()
 	return sw.WordsSwept
 }
+
+// BeginLazy arms a lazy sweep over the given blocked spaces: every block is
+// flagged unswept and nothing else happens — the marked heap image stays in
+// place, with free lists stale until each block's sweep. Any previously
+// pending blocks (there are none in correct use; collectors flush with
+// FinishLazy before a new mark) are superseded.
+func (sw *Sweeper) BeginLazy(spaces ...*Space) {
+	sw.lazySpaces = append(sw.lazySpaces[:0], spaces...)
+	sw.lazyPend = 0
+	sw.lazyCursor = 0
+	for _, s := range spaces {
+		if s.Blocks == nil {
+			panic("heap: Sweeper.BeginLazy on a space without a block table")
+		}
+		n := s.NumBlocks()
+		for b := 0; b < n; b++ {
+			s.Blocks.setUnswept(b)
+		}
+		sw.lazyPend += n
+	}
+}
+
+// EnsureSwept sweeps block b of s now if it is still pending and returns
+// the words examined (0 when the block was already swept or no lazy sweep
+// is active). Allocation calls this before trusting a block's free list.
+func (sw *Sweeper) EnsureSwept(s *Space, b int) int {
+	if s.Blocks == nil || len(s.Blocks.Unswept) == 0 || !s.Blocks.UnsweptAt(b) {
+		return 0
+	}
+	s.Blocks.clearUnswept(b)
+	sw.lazyPend--
+	return sweepBlock(s, b)
+}
+
+// SweepPendingBlock sweeps the next pending block in address order and
+// returns the words examined, or ok == false when nothing is pending. The
+// incremental collectors call this at a steady rate off the allocation
+// clock so the sweep finishes well before the next cycle even if
+// allocation never touches some blocks.
+func (sw *Sweeper) SweepPendingBlock() (words int, ok bool) {
+	if sw.lazyPend == 0 {
+		return 0, false
+	}
+	flat := sw.lazyCursor
+	for _, s := range sw.lazySpaces {
+		n := s.NumBlocks()
+		if flat >= n {
+			flat -= n
+			continue
+		}
+		for b := flat; b < n; b++ {
+			sw.lazyCursor++
+			if s.Blocks.UnsweptAt(b) {
+				s.Blocks.clearUnswept(b)
+				sw.lazyPend--
+				return sweepBlock(s, b), true
+			}
+		}
+		flat = 0
+	}
+	return 0, false
+}
+
+// FinishLazy sweeps every still-pending block and returns the words
+// examined. Collectors call it before starting a new mark (every block must
+// be swept exactly once per cycle) and when leaving incremental mode for a
+// stop-the-world collection.
+func (sw *Sweeper) FinishLazy() uint64 {
+	if sw.lazyPend == 0 {
+		return 0
+	}
+	var swept uint64
+	for _, s := range sw.lazySpaces {
+		if sw.lazyPend == 0 {
+			break
+		}
+		for b := 0; b < s.NumBlocks(); b++ {
+			if s.Blocks.UnsweptAt(b) {
+				s.Blocks.clearUnswept(b)
+				sw.lazyPend--
+				swept += uint64(sweepBlock(s, b))
+			}
+		}
+	}
+	return swept
+}
+
+// LazyPending returns the number of blocks still awaiting their lazy sweep.
+func (sw *Sweeper) LazyPending() int { return sw.lazyPend }
 
 // sweepBlock sweeps block b of s: survivors stay put, runs of dead objects
 // and old free blocks merge into maximal TFree blocks linked onto the

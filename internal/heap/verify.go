@@ -60,6 +60,22 @@ type VerifySpec struct {
 	Live []*Space
 	// Remsets are the collector's remembered-set completeness contracts.
 	Remsets []RemsetRule
+
+	// MarkingActive declares that an incremental mark is in progress: mark
+	// bits are legitimately set on a prefix of the live graph, so the
+	// stale-mark bitmap check is skipped. Unmarked objects may still be
+	// live (not yet traced), so no reachability conclusions are drawn.
+	MarkingActive bool
+
+	// SweepPending, when non-nil, reports that the object headed at off in
+	// s lies in a region whose sweep is still pending (incremental lazy
+	// sweeping): there, the completed mark is authoritative — an unmarked
+	// object is dead storage awaiting its sweep. The verifier skips such
+	// objects' payloads and census words (dead storage, like free-block
+	// interiors), treats pointers to them as dangling, and skips the
+	// stale-mark check (survivors keep their marks until their block is
+	// swept).
+	SweepPending func(s *Space, off int) bool
 }
 
 // Verifiable is implemented by collectors that can describe their current
@@ -138,8 +154,10 @@ func (v *verifier) parseSpaces() {
 		// Marks live in the side bitmap; any bit still set after a
 		// collection is the bitmap analogue of a stale header mark. The
 		// header-bit check below stays as a defense: no engine writes it
-		// anymore, so a set bit means corruption.
-		if !s.MarksClear() {
+		// anymore, so a set bit means corruption. Incremental phases are
+		// the exception: mid-mark bits and pending-sweep survivor bits are
+		// both legitimate.
+		if !v.spec.MarkingActive && v.spec.SweepPending == nil && !s.MarksClear() {
 			if !v.errorf(ErrStaleMark, "%v: mark bitmap not clear after collection", s) {
 				return
 			}
@@ -205,7 +223,17 @@ func (v *verifier) checkPtr(w Word, what func() string) bool {
 	if HeaderType(hdr) == TFree {
 		return v.errorf(ErrDanglingPointer, "%s points into a free block (%v off %d)", what(), s, off)
 	}
+	if v.deadPending(s, off) {
+		return v.errorf(ErrDanglingPointer, "%s points to a dead object awaiting lazy sweep (%v off %d)", what(), s, off)
+	}
 	return true
+}
+
+// deadPending reports whether the object headed at off is dead storage in a
+// pending-sweep region: the mark is authoritative there, so unmarked means
+// dead.
+func (v *verifier) deadPending(s *Space, off int) bool {
+	return v.spec.SweepPending != nil && v.spec.SweepPending(s, off) && !s.MarkedAt(off)
 }
 
 // scanObjects validates the payloads of every non-free block in every live
@@ -221,7 +249,7 @@ func (v *verifier) scanObjects() {
 		}
 		for off, hdr := range v.starts[s.ID] {
 			t := HeaderType(hdr)
-			if t == TFree {
+			if t == TFree || v.deadPending(s, off) {
 				continue
 			}
 			if extra == 1 {
@@ -278,7 +306,7 @@ func (v *verifier) checkRemsets() {
 			}
 			for off, hdr := range v.starts[s.ID] {
 				t := HeaderType(hdr)
-				if t == TFree || RawPayload(t) {
+				if t == TFree || RawPayload(t) || v.deadPending(s, off) {
 					continue
 				}
 				obj := PtrWord(s.ID, off)
