@@ -2,8 +2,8 @@
 # conformance pass that backs the parallel experiment runner.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR7.json
-BENCH_BASE ?= BENCH_PR6.json
+BENCH_OUT ?= BENCH_PR8.json
+BENCH_BASE ?= BENCH_PR7.json
 BENCH_NOW ?= /tmp/rdgc-bench-now.json
 FUZZTIME ?= 30s
 
@@ -37,7 +37,7 @@ traces:
 # bench runs the Go microbenchmarks, then measures the tracing engines,
 # the full collector grid, and the stop-the-world vs incremental pause
 # distributions, and writes the machine-readable report (the file checked
-# in as BENCH_PR7.json), after the workers=1 parity smoke.
+# in as BENCH_PR8.json), after the workers=1 parity smoke.
 bench:
 	$(GO) run ./cmd/benchreport -smoke
 	$(GO) test -bench=. -benchmem ./...

@@ -27,9 +27,10 @@ check_cover() {
     fi
     echo "coverage $1: $pct% (floor $2%)"
 }
-check_cover ./internal/heap 84
+check_cover ./internal/heap 85
 check_cover ./internal/remset 96
 check_cover ./internal/trace 85
+check_cover ./internal/policy 96
 
 # Parallel tracing and sweeping: the conformance suite (which parameterizes
 # worker counts itself) and the heap engines re-run under the race detector
@@ -47,6 +48,13 @@ RDGC_GC_WORKERS=4 RDGC_GC_LAB=1 go test -race -count=1 ./internal/gc/marksweep .
 # RDGC_GC_INCR pinned on, so the barrier, the mark slices, and the lazy
 # sweep all run their env-sensitive paths.
 RDGC_GC_INCR=1 go test -race -count=1 ./internal/heap ./internal/gc/marksweep ./internal/gc/npms ./internal/gc/conformance
+
+# Tenuring and the adaptive policy controller: the generational collectors
+# and the conformance suite (age oracle, threshold-1 ≡ wholesale identity,
+# never-promote) re-run under the race detector with RDGC_GC_ADAPT pinned
+# on, so every heap the tests build routes survivors through the tenured
+# evacuation path with the feedback controller live.
+RDGC_GC_ADAPT=1 go test -race -count=1 ./internal/heap ./internal/gc/generational ./internal/gc/multigen ./internal/gc/hybrid ./internal/gc/conformance
 go run ./cmd/benchreport -smoke
 
 # Trace smoke: record a small benchmark once, then replay the trace under
@@ -69,3 +77,7 @@ go run ./cmd/gctrace stat "$trace_tmp/lattice.trace" > /dev/null
 RDGC_GC_WORKERS=4 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz
 RDGC_GC_WORKERS=4 RDGC_GC_LAB=1 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz
 RDGC_GC_SLICE=64 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz
+# The fourth run pins the tenured replay passes to threshold 6, so the
+# age-routing evacuation and the age oracle see every fuzz input at a
+# mid-grid threshold (unpinned runs derive the threshold from the program).
+RDGC_GC_TENURE=6 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz

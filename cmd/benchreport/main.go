@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"rdgc/internal/bench"
+	"rdgc/internal/bench/dyninfer"
 	"rdgc/internal/core"
 	"rdgc/internal/decay"
 	"rdgc/internal/experiments"
@@ -119,6 +120,31 @@ type PauseResult struct {
 	Error           string `json:"error,omitempty"`
 }
 
+// TenureResult is one cell of the fixed-vs-adaptive tenuring grid: the
+// generational collector runs the workload at a pinned promotion threshold
+// or under the adaptive policy controller (DESIGN.md "Tenuring & adaptive
+// policy"), and the cell records the copy-work decomposition the policy is
+// supposed to minimize. WordsCopied is the figure of merit — all copying,
+// minor and major; WordsTenured the survivor words the nursery re-copied
+// to keep young; WordsPromoted what crossed into the old generation.
+type TenureResult struct {
+	Workload         string `json:"workload"`
+	Policy           string `json:"policy"` // fixed threshold ("1".."15") or "adaptive"
+	AllocWords       uint64 `json:"alloc_words"`
+	WordsCopied      uint64 `json:"words_copied"`
+	WordsPromoted    uint64 `json:"words_promoted"`
+	WordsTenured     uint64 `json:"words_tenured"`
+	Collections      int    `json:"collections"`
+	MajorCollections int    `json:"major_collections"`
+	// FinalThreshold is the promotion threshold in force at the end of the
+	// run (for adaptive rows, where it ended up; heap.TenureNever reports
+	// as -1 to keep the JSON readable).
+	FinalThreshold int    `json:"final_threshold"`
+	Adaptations    int    `json:"adaptations,omitempty"`
+	WallNS         int64  `json:"wall_ns"`
+	Error          string `json:"error,omitempty"`
+}
+
 // Report is one full measurement run. GoMaxProcs and NumCPU record what the
 // measurement had to work with: parallel speedups are only meaningful when
 // the schedulable cores cover the worker count (a 1-CPU container measures
@@ -132,6 +158,7 @@ type Report struct {
 	Engines    []EngineResult    `json:"engines"`
 	Parallel   []ParallelResult  `json:"parallel,omitempty"`
 	Collectors []CollectorResult `json:"collectors"`
+	Tenuring   []TenureResult    `json:"tenuring,omitempty"`
 	Pauses     []PauseResult     `json:"pauses,omitempty"`
 	Traces     []TraceResult     `json:"traces,omitempty"`
 }
@@ -501,6 +528,122 @@ func collectorGrid(gcWorkers int) []CollectorResult {
 	return out
 }
 
+// tenurePolicies is the policy axis of the tenuring grid: the fixed
+// thresholds the aquario exemplars use plus the adaptive controller.
+var tenurePolicies = []struct {
+	name      string
+	threshold int
+	adaptive  bool
+}{
+	{"1", 1, false},
+	{"2", 2, false},
+	{"6", 6, false},
+	{"15", 15, false},
+	{"adaptive", 0, true},
+}
+
+// tenureCell runs one (workload, policy) cell: a fresh heap with the
+// tenuring knobs pinned, a generational collector built by mk, and the
+// workload body, returning the copy-work decomposition.
+func tenureCell(workload, policy string, threshold int, adaptive bool,
+	mk func(h *heap.Heap) *generational.Collector, body func(h *heap.Heap) error) TenureResult {
+	h := heap.New()
+	h.SetGCTenure(threshold)
+	h.SetGCAdaptive(adaptive)
+	c := mk(h)
+	start := time.Now()
+	err := body(h)
+	wall := time.Since(start)
+	g := c.GCStats()
+	r := TenureResult{
+		Workload:         workload,
+		Policy:           policy,
+		AllocWords:       h.Stats.WordsAllocated,
+		WordsCopied:      g.WordsCopied,
+		WordsPromoted:    g.WordsPromoted,
+		WordsTenured:     g.WordsTenured,
+		Collections:      g.Collections,
+		MajorCollections: g.MajorCollections,
+		FinalThreshold:   g.TenureThreshold,
+		Adaptations:      g.PolicyAdaptations,
+		WallNS:           wall.Nanoseconds(),
+	}
+	if r.FinalThreshold >= heap.TenureNever {
+		r.FinalThreshold = -1 // never promote
+	}
+	if err != nil {
+		r.Error = err.Error()
+	}
+	return r
+}
+
+// tenureBenchmarks runs the fixed-vs-adaptive tenuring grid: the
+// generational collector over two decay workloads (short and long
+// half-life) and the registry workloads whose lifetimes are *not*
+// radioactive (boyer, dyninfer, nucleic), at each fixed threshold and
+// under the adaptive controller. The interesting read: under decay, bigger
+// thresholds win and adaptive should chase them; under the registry
+// programs a finite threshold wins and adaptive must find it without
+// giving back more than a sliver over the best fixed setting.
+func tenureBenchmarks() []TenureResult {
+	var out []TenureResult
+
+	for _, halfLife := range []int{192, 768} {
+		cfg := experiments.DecayConfig{HalfLife: float64(halfLife), L: 3.5, G: 0.25, K: 16, Steps: workloadSteps}
+		total := cfg.HeapWords()
+		nursery := total / 8
+		workload := fmt.Sprintf("decay-%d", halfLife)
+		for _, p := range tenurePolicies {
+			out = append(out, tenureCell(workload, p.name, p.threshold, p.adaptive,
+				func(h *heap.Heap) *generational.Collector {
+					return generational.New(h, nursery, total-nursery, generational.WithExpansion(2))
+				},
+				func(h *heap.Heap) error {
+					w := decay.NewWorkload(h, float64(halfLife), 1)
+					w.Warmup(10)
+					w.Run(workloadSteps)
+					return nil
+				}))
+		}
+	}
+
+	// The registry cells size the old area at a quarter of the program's
+	// heap budget (with expansion as the safety valve) so major collections
+	// are a real cost promotion has to answer for, not free headroom: boyer
+	// and nucleic survivors are effectively immortal, so wholesale promotion
+	// wins and retention only re-copies them; dyninfer (at 40 iterations,
+	// with the nursery sized to one iteration's constraint graph) is the
+	// anti-generational shape — survivors of one minor die before a second,
+	// so any finite patience keeps the old area clean and never-promote
+	// strictly beats wholesale.
+	type cell struct {
+		prog         bench.Program
+		nursery, old int
+	}
+	var registry []cell
+	for _, p := range bench.Standard() {
+		switch p.Name() {
+		case "nboyer2":
+			registry = append(registry, cell{p, p.HeapWords() / 32, p.HeapWords() / 4})
+		case "nucleic2":
+			registry = append(registry, cell{p, p.HeapWords() / 16, p.HeapWords() / 4})
+		}
+	}
+	registry = append(registry, cell{dyninfer.New(40), 4096, 8192})
+
+	for _, r := range registry {
+		prog, nursery, old := r.prog, r.nursery, r.old
+		for _, p := range tenurePolicies {
+			out = append(out, tenureCell(prog.Name(), p.name, p.threshold, p.adaptive,
+				func(h *heap.Heap) *generational.Collector {
+					return generational.New(h, nursery, old, generational.WithExpansion(2))
+				},
+				prog.Run))
+		}
+	}
+	return out
+}
+
 // pauseModes is the collection-mode grid every pause workload runs under:
 // the stop-the-world baseline and incremental at a quarter, one, and four
 // times the default slice budget — enough to see how the pause ceiling and
@@ -697,13 +840,14 @@ func run() *Report {
 	parallel := parallelBenchmarks([]int{0, 1, 2, 4, 8})
 	parallel = append(parallel, sweepBenchmarks([]int{0, 1, 2, 4, 8})...)
 	return &Report{
-		Schema:     "rdgc-bench/5",
+		Schema:     "rdgc-bench/6",
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Engines:    append(engineBenchmarks(), markBitBenchmarks()...),
 		Parallel:   parallel,
 		Collectors: collectors,
+		Tenuring:   tenureBenchmarks(),
 		Pauses:     pauseBenchmarks(),
 		Traces:     traceBenchmarks(),
 	}
@@ -761,29 +905,31 @@ func speedups(before, after *Report) map[string]float64 {
 	return out
 }
 
-// compare prints the metric deltas between two BENCH_*.json files (each
-// either a bare Report or a before/after Comparison; the "after" run of a
-// comparison is what gets diffed).
-func compare(pathA, pathB string) error {
-	load := func(path string) (*Report, error) {
-		var c Comparison
-		if err := readJSON(path, &c); err != nil {
-			return nil, err
-		}
-		if c.After != nil {
-			return c.After, nil
-		}
-		var r Report
-		if err := readJSON(path, &r); err != nil {
-			return nil, err
-		}
-		return &r, nil
+// loadReport reads a BENCH_*.json file that is either a bare Report or a
+// before/after Comparison; the "after" run of a comparison is the
+// measurement it carries.
+func loadReport(path string) (*Report, error) {
+	var c Comparison
+	if err := readJSON(path, &c); err != nil {
+		return nil, err
 	}
-	a, err := load(pathA)
+	if c.After != nil {
+		return c.After, nil
+	}
+	var r Report
+	if err := readJSON(path, &r); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// compare prints the metric deltas between two BENCH_*.json files.
+func compare(pathA, pathB string) error {
+	a, err := loadReport(pathA)
 	if err != nil {
 		return fmt.Errorf("%s: %w", pathA, err)
 	}
-	b, err := load(pathB)
+	b, err := loadReport(pathB)
 	if err != nil {
 		return fmt.Errorf("%s: %w", pathB, err)
 	}
@@ -865,11 +1011,20 @@ func main() {
 	before := flag.String("before", "", "embed this prior report as the before run and compute speedups")
 	cmp := flag.Bool("compare", false, "compare two BENCH_*.json files given as arguments instead of measuring")
 	smokeOnly := flag.Bool("smoke", false, "only check workers=1 parallel-engine parity with the sequential engines")
+	tenureOnly := flag.Bool("tenure", false, "only run the fixed-vs-adaptive tenuring grid and emit it as JSON")
 	flag.Parse()
 
 	if *smokeOnly {
 		if err := smoke(); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *tenureOnly {
+		if err := writeJSON(*out, tenureBenchmarks()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
@@ -895,12 +1050,12 @@ func main() {
 		}
 		return
 	}
-	var prior Report
-	if err := readJSON(*before, &prior); err != nil {
+	prior, err := loadReport(*before)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	c := Comparison{Schema: "rdgc-bench-compare/1", Before: &prior, After: rep, Speedup: speedups(&prior, rep)}
+	c := Comparison{Schema: "rdgc-bench-compare/1", Before: prior, After: rep, Speedup: speedups(prior, rep)}
 	if err := writeJSON(*out, &c); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -28,9 +28,13 @@ func main() {
 	censusMode := flag.String("census", "auto", "census tracking: auto (derived from the program), on, or off")
 	collector := flag.String("collector", "", "run only the named collector (default: all, with cross-collector stats check)")
 	gcincr := flag.Bool("gcincr", heap.GCIncrFromEnv(), "replay with incremental collection (mark slices + lazy sweep) where supported (default $RDGC_GC_INCR)")
+	gctenure := flag.Int("gctenure", 0, "promotion threshold for the tenuring collectors, in collections survived (0 = $RDGC_GC_TENURE, 1 = wholesale promotion)")
+	gcadapt := flag.Bool("gcadapt", heap.GCAdaptFromEnv(), "adapt nursery trigger and promotion threshold online from survival statistics (default $RDGC_GC_ADAPT)")
 	minimize := flag.Bool("minimize", false, "shrink a failing program to a minimal reproducer")
 	emitTrace := flag.String("emit-trace", "", "export the (single) program as an allocation-event trace to `file`")
 	flag.Parse()
+	heap.SetDefaultGCTenure(heap.ResolveGCTenure(*gctenure))
+	heap.SetDefaultGCAdaptive(*gcadapt)
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)

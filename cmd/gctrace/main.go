@@ -190,6 +190,8 @@ func cmdReplay(args []string) error {
 	gclab := fs.Bool("gclab", heap.GCLABFromEnv(), "per-worker allocation buffers during parallel evacuation (default $RDGC_GC_LAB)")
 	gcincr := fs.Bool("gcincr", heap.GCIncrFromEnv(), "incremental collection (mark slices + lazy sweep) on the collectors that support it (default $RDGC_GC_INCR)")
 	gcslice := fs.Int("gcslice", 0, "incremental mark slice budget in words (0 = $RDGC_GC_SLICE, or the built-in default)")
+	gctenure := fs.Int("gctenure", 0, "promotion threshold for the tenuring collectors, in collections survived (0 = $RDGC_GC_TENURE, 1 = wholesale promotion)")
+	gcadapt := fs.Bool("gcadapt", heap.GCAdaptFromEnv(), "adapt nursery trigger and promotion threshold online from survival statistics (default $RDGC_GC_ADAPT)")
 	progress := fs.Bool("progress", false, "report per-cell completion and wall-clock to stderr")
 	fs.Parse(args)
 	gw := heap.ResolveGCWorkers(*gcworkers)
@@ -197,6 +199,8 @@ func cmdReplay(args []string) error {
 	heap.SetDefaultGCLAB(*gclab)
 	heap.SetDefaultGCIncremental(*gcincr)
 	heap.SetDefaultGCSliceBudget(heap.ResolveGCSlice(*gcslice))
+	heap.SetDefaultGCTenure(heap.ResolveGCTenure(*gctenure))
+	heap.SetDefaultGCAdaptive(*gcadapt)
 	if fs.NArg() != 1 {
 		return fmt.Errorf("replay needs exactly one trace file")
 	}

@@ -26,6 +26,8 @@ func TestMain(m *testing.M) {
 	heap.SetDefaultGCLAB(heap.GCLABFromEnv())
 	heap.SetDefaultGCIncremental(heap.GCIncrFromEnv())
 	heap.SetDefaultGCSliceBudget(heap.GCSliceFromEnv())
+	heap.SetDefaultGCTenure(heap.GCTenureFromEnv())
+	heap.SetDefaultGCAdaptive(heap.GCAdaptFromEnv())
 	os.Exit(m.Run())
 }
 

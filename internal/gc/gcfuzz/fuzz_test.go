@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"rdgc/internal/gc/generational"
 	"rdgc/internal/heap"
 )
 
@@ -36,7 +37,19 @@ func seedPrograms() [][]byte {
 	for i := range mixed {
 		mixed[i] = byte(i*37 + 11)
 	}
-	return [][]byte{zeros, ramp, gcHeavy, boxes, churnVerify, mixed}
+	// tenureChurn builds structure and churns without forcing majors, so
+	// nursery pressure drives many minors and survivors age several rounds
+	// before the threshold catches them (byte 2 selects threshold 6 in the
+	// tenured replay pass).
+	tenureChurn := bytes.Repeat([]byte{0, 1, 2, 3, 8, 5, 9, 8, 8, 13}, 40)
+	// agingWave is mutator ops only — every collection is allocation
+	// triggered, the regime where retained survivors ride the nursery flip
+	// over and over.
+	agingWave := make([]byte, 512)
+	for i := range agingWave {
+		agingWave[i] = byte((i*7 + 3) % 12)
+	}
+	return [][]byte{zeros, ramp, gcHeavy, boxes, churnVerify, mixed, tenureChurn, agingWave}
 }
 
 // censusFor derives the census mode from the program so the fuzzer explores
@@ -60,7 +73,27 @@ func FuzzCollectors(f *testing.F) {
 		if err := RunAllIncr(prog, census); err != nil {
 			t.Fatalf("incremental: %v", err)
 		}
+		if err := RunAllTenured(prog, census, fuzzTenure(prog)); err != nil {
+			t.Fatalf("tenured: %v", err)
+		}
+		if err := RunAllAdaptive(prog, census); err != nil {
+			t.Fatalf("adaptive: %v", err)
+		}
 	})
+}
+
+// fuzzTenure picks the tenured pass's promotion threshold: RDGC_GC_TENURE
+// when set (so CI can pin one), else derived from the program bytes so the
+// fuzzer explores the interesting thresholds including never-promote.
+func fuzzTenure(prog []byte) int {
+	if n := heap.GCTenureFromEnv(); n > 1 {
+		return n
+	}
+	choices := [5]int{2, 3, 6, 15, heap.TenureNever}
+	if len(prog) < 3 {
+		return choices[0]
+	}
+	return choices[prog[2]%5]
 }
 
 // fuzzGCWorkers picks the parallel pass's worker count: RDGC_GC_WORKERS
@@ -107,6 +140,12 @@ func TestSeedCorpus(t *testing.T) {
 			if err := RunAllIncr(prog, census); err != nil {
 				t.Errorf("%s (census=%v, incremental): %v", e.Name(), census, err)
 			}
+			if err := RunAllTenured(prog, census, 6); err != nil {
+				t.Errorf("%s (census=%v, tenure=6): %v", e.Name(), census, err)
+			}
+			if err := RunAllAdaptive(prog, census); err != nil {
+				t.Errorf("%s (census=%v, adaptive): %v", e.Name(), census, err)
+			}
 		}
 	}
 }
@@ -141,8 +180,67 @@ func TestWriteSeedCorpus(t *testing.T) {
 }
 
 func filepathSeedName(i int) string {
-	names := []string{"seed-zeros", "seed-ramp", "seed-gc-heavy", "seed-boxes", "seed-churn-verify", "seed-mixed"}
+	names := []string{"seed-zeros", "seed-ramp", "seed-gc-heavy", "seed-boxes", "seed-churn-verify", "seed-mixed",
+		"seed-tenure-churn", "seed-aging-wave"}
 	return names[i]
+}
+
+// ageCorrupter hijacks the program's first collect op once an aged object
+// exists: instead of collecting, it bumps one live object's side-table age
+// by one and swallows this and every later collect op, so only allocation-
+// triggered minor collections follow — the next of which must trip the age
+// oracle on the corrupted entry.
+type ageCorrupter struct {
+	heap.Collector
+	h    *heap.Heap
+	ten  heap.Tenurer
+	done bool
+}
+
+func (a *ageCorrupter) Collect() {
+	if a.done {
+		return
+	}
+	for _, s := range a.ten.YoungSpaces() {
+		heap.WalkSpace(s, func(off int, hdr heap.Word) bool {
+			if age := s.AgeAt(off); age > 0 && age < heap.MaxObjectAge {
+				s.SetAgeAt(off, age+1)
+				a.done = true
+				return false
+			}
+			return true
+		})
+		if a.done {
+			return
+		}
+	}
+	a.Collector.Collect()
+}
+
+// TestTenuredRunDetectsBadAge is the regression guard for the tenured fuzz
+// harness: a single corrupted age entry in a side table must surface as a
+// run failure through the age oracle.
+func TestTenuredRunDetectsBadAge(t *testing.T) {
+	prog := seedPrograms()[6] // seed-tenure-churn: minors retain and age survivors
+	corr := &ageCorrupter{}
+	mk := func(h *heap.Heap) heap.Collector {
+		return generational.New(h, 1024, 16384, generational.WithExpansion(2))
+	}
+	wrap := func(h *heap.Heap, c heap.Collector) heap.Collector {
+		corr.h, corr.Collector = h, c
+		corr.ten = c.(heap.Tenurer)
+		return corr
+	}
+	_, err := runWith(prog, mk, false, wrap, 0, false, func(h *heap.Heap) {
+		h.SetGCTenure(heap.TenureNever)
+	})
+	if !corr.done {
+		t.Fatal("the program never retained an aged object to corrupt")
+	}
+	if err == nil {
+		t.Fatal("a corrupted side-table age went undetected")
+	}
+	t.Logf("detected as: %v", err)
 }
 
 func TestRunDeterministic(t *testing.T) {

@@ -172,14 +172,14 @@ type fullCollector interface{ FullCollect() }
 // census turns on per-object birth stamps, doubling as a check that the
 // hidden census word never confuses a collector.
 func Run(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (heap.Stats, error) {
-	return runWith(prog, mk, census, nil, 0, false)
+	return runWith(prog, mk, census, nil, 0, false, nil)
 }
 
 // RunAt is Run with the heap configured for gcWorkers parallel tracing
 // workers (0 = the sequential engines). The property set is unchanged:
 // parallel tracing must be invisible to every invariant checked here.
 func RunAt(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, gcWorkers int) (heap.Stats, error) {
-	return runWith(prog, mk, census, nil, gcWorkers, false)
+	return runWith(prog, mk, census, nil, gcWorkers, false, nil)
 }
 
 // RunIncr is Run with the heap in incremental collection mode (insertion
@@ -188,7 +188,7 @@ func RunAt(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, gcWor
 // the shadow-model comparison and the final whole-heap Check must hold with
 // collection interleaved into the mutator at slice granularity.
 func RunIncr(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (heap.Stats, error) {
-	return runWith(prog, mk, census, nil, 0, true)
+	return runWith(prog, mk, census, nil, 0, true, nil)
 }
 
 // RunWith is Run with an instrumentation hook: when wrap is non-nil, the
@@ -198,10 +198,27 @@ func RunIncr(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool) (he
 // in here — cmd/gcfuzz -emit-trace exports a byte program as a trace —
 // without this package importing the trace codec.
 func RunWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wrap func(h *heap.Heap, c heap.Collector) heap.Collector) (heap.Stats, error) {
-	return runWith(prog, mk, census, wrap, 0, false)
+	return runWith(prog, mk, census, wrap, 0, false, nil)
 }
 
-func runWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wrap func(h *heap.Heap, c heap.Collector) heap.Collector, gcWorkers int, incremental bool) (heap.Stats, error) {
+// RunTenured is Run with the heap's promotion threshold pinned (so the
+// tenuring-capable collectors retain survivors in the nursery until they
+// age out; heap.TenureNever and adaptive mode via threshold 0 are both
+// meaningful) and, on collectors that implement heap.Tenurer, the gctest
+// age oracle attached: every retained object's side-table age must match a
+// move-hook shadow count throughout the run.
+func RunTenured(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, threshold int) (heap.Stats, error) {
+	return runWith(prog, mk, census, nil, 0, false, func(h *heap.Heap) {
+		if threshold == 0 {
+			h.SetGCAdaptive(true)
+		} else {
+			h.SetGCTenure(threshold)
+			h.SetGCAdaptive(false)
+		}
+	})
+}
+
+func runWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wrap func(h *heap.Heap, c heap.Collector) heap.Collector, gcWorkers int, incremental bool, configure func(h *heap.Heap)) (heap.Stats, error) {
 	if len(prog) > MaxProgram {
 		prog = prog[:MaxProgram]
 	}
@@ -212,18 +229,35 @@ func runWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wra
 	h := heap.New(opts...)
 	h.SetGCWorkers(gcWorkers)
 	h.SetGCIncremental(incremental)
+	tenured := configure != nil
+	if tenured {
+		configure(h)
+	}
 	c := mk(h)
 	drive := c
 	if wrap != nil {
 		drive = wrap(h, c)
 	}
 
+	// Tenured runs carry the age oracle: the collector's side age tables
+	// are held to a move-hook shadow count for the whole program.
+	var oracle *gctest.AgeOracle
+	if ten, ok := c.(heap.Tenurer); tenured && ok {
+		oracle = gctest.InstallAgeOracle(h, ten)
+	}
+
 	// The after-GC hook sees every collection, including those triggered by
 	// allocation inside a mutator op; only the first violation is kept.
 	var gcErr error
 	h.SetAfterGC(func() {
+		if oracle != nil {
+			oracle.AfterGC()
+		}
 		if gcErr == nil {
 			gcErr = heap.VerifyCollector(h, c)
+		}
+		if gcErr == nil && oracle != nil {
+			gcErr = oracle.Check()
 		}
 	})
 
@@ -271,6 +305,11 @@ func runWith(prog []byte, mk func(h *heap.Heap) heap.Collector, census bool, wra
 	if err := m.Verify(); err != nil {
 		return h.Stats, err
 	}
+	if oracle != nil {
+		if err := oracle.Check(); err != nil {
+			return h.Stats, err
+		}
+	}
 	return h.Stats, nil
 }
 
@@ -299,6 +338,36 @@ func RunAllAt(prog []byte, census bool, gcWorkers int) error {
 		}
 	}
 	return nil
+}
+
+// RunAllTenured runs prog against every collector with the promotion
+// threshold pinned (0 = adaptive) and the age oracle attached to the
+// tenuring-capable ones, and checks the mutator statistics agree across
+// collectors — and against the wholesale run of the same program, since
+// the mutator alone decides what is allocated, a tenuring policy must not
+// perturb its statistics either.
+func RunAllTenured(prog []byte, census bool, threshold int) error {
+	base, err := Run(prog, Collectors()[0].New, census)
+	if err != nil {
+		return fmt.Errorf("%s (wholesale): %w", Collectors()[0].Name, err)
+	}
+	for _, nc := range Collectors() {
+		stats, err := RunTenured(prog, nc.New, census, threshold)
+		if err != nil {
+			return fmt.Errorf("%s (threshold=%d): %w", nc.Name, threshold, err)
+		}
+		if stats != base {
+			return fmt.Errorf("%s (threshold=%d): mutator stats diverged from wholesale: %+v vs %+v",
+				nc.Name, threshold, stats, base)
+		}
+	}
+	return nil
+}
+
+// RunAllAdaptive is RunAllTenured with the policy controller driving the
+// knobs instead of a fixed threshold.
+func RunAllAdaptive(prog []byte, census bool) error {
+	return RunAllTenured(prog, census, 0)
 }
 
 // RunAllIncr runs prog against every collector in incremental mode and

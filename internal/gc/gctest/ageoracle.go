@@ -1,0 +1,126 @@
+package gctest
+
+import (
+	"fmt"
+
+	"rdgc/internal/heap"
+)
+
+// AgeOracle is a shadow model for the side age tables of heap/tenure.go:
+// it counts, per live object, the nursery collections the object has
+// survived, using only the heap's move hook — never the collector's own
+// age metadata — and then demands that the collector's side tables agree
+// exactly. Any divergence (an age not incremented on retention, not
+// cleared on reuse, or attached to the wrong object) is reported.
+//
+// Model: an object absent from the table is fresh (age 0). When the
+// collector moves an object into one of the Tenurer's young spaces, that
+// is a retention and the object's age advances by one (saturating at
+// heap.MaxObjectAge); a move anywhere else is a promotion and the object
+// leaves the model. Dead objects never move; their stale entries are
+// pruned when their address falls outside the owning space's live prefix.
+type AgeOracle struct {
+	h    *heap.Heap
+	ten  heap.Tenurer
+	ages map[heap.Word]int
+	err  error
+}
+
+// InstallAgeOracle attaches an oracle to h, whose collector must implement
+// heap.Tenurer. It claims the heap's move hook (which also forces
+// sequential drains, so ages are observed deterministically).
+func InstallAgeOracle(h *heap.Heap, ten heap.Tenurer) *AgeOracle {
+	o := &AgeOracle{h: h, ten: ten, ages: make(map[heap.Word]int)}
+	h.SetMoveHook(o.moved)
+	return o
+}
+
+func (o *AgeOracle) notef(format string, args ...any) {
+	if o.err == nil {
+		o.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (o *AgeOracle) isYoung(w heap.Word) bool {
+	id := heap.PtrSpace(w)
+	for _, s := range o.ten.YoungSpaces() {
+		if s.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (o *AgeOracle) moved(old, new heap.Word) {
+	age := o.ages[old] // absent = fresh, age 0
+	delete(o.ages, old)
+	if !o.isYoung(new) {
+		// Promoted (or moved by a wholesale collection): the object leaves
+		// the age-tracked world. Its destination carries no age table, or
+		// a zeroed one.
+		return
+	}
+	want := age + 1
+	if want > heap.MaxObjectAge {
+		want = heap.MaxObjectAge
+	}
+	s := o.h.SpaceOf(new)
+	if got := s.AgeAt(heap.PtrOff(new)); got != want {
+		o.notef("age oracle: object retained at %q+%d has side-table age %d, oracle says %d",
+			s.Name, heap.PtrOff(new), got, want)
+	}
+	o.ages[new] = want
+}
+
+// AfterGC prunes entries for objects that died (their address is no longer
+// inside the owning space's live prefix, so the slot may be reused by a
+// later collection). Call it from the heap's AfterGC hook.
+func (o *AgeOracle) AfterGC() {
+	for w := range o.ages {
+		if heap.PtrOff(w) >= o.h.SpaceOf(w).Top || !o.isYoung(w) {
+			delete(o.ages, w)
+		}
+	}
+}
+
+// Check walks every young space and compares each live object's side-table
+// age against the oracle (absent = 0), also surfacing any divergence a
+// move reported earlier.
+func (o *AgeOracle) Check() error {
+	if o.err != nil {
+		return o.err
+	}
+	for _, s := range o.ten.YoungSpaces() {
+		var err error
+		heap.WalkSpace(s, func(off int, hdr heap.Word) bool {
+			w := heap.PtrWord(s.ID, off)
+			if got, want := s.AgeAt(off), o.ages[w]; got != want {
+				err = fmt.Errorf("age oracle: object at %q+%d has side-table age %d, oracle says %d",
+					s.Name, off, got, want)
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Tracked returns the number of objects the oracle currently models with a
+// nonzero age, and the maximum such age — handy for asserting a workload
+// actually exercised retention.
+func (o *AgeOracle) Tracked() (n, maxAge int) {
+	for _, age := range o.ages {
+		n++
+		if age > maxAge {
+			maxAge = age
+		}
+	}
+	return n, maxAge
+}
+
+// Ages exposes the oracle's model (current address -> survived
+// collections) for tests that need to corrupt or inspect specific entries.
+func (o *AgeOracle) Ages() map[heap.Word]int { return o.ages }

@@ -17,6 +17,7 @@ import (
 
 	"rdgc/internal/core"
 	"rdgc/internal/heap"
+	"rdgc/internal/policy"
 	"rdgc/internal/remset"
 )
 
@@ -54,6 +55,20 @@ type Collector struct {
 	staticBuf   []heap.Word
 
 	stats heap.GCStats
+
+	// Age-based tenuring (heap/tenure.go): promoting collections retain
+	// under-threshold survivors in the nurseryTo shadow instead of moving
+	// them to the dynamic area. All nil/zero under the default threshold
+	// of 1, where minor() runs the wholesale §8.4 path unchanged.
+	threshold int
+	trigger   int
+	carry     int
+	nurseryTo *heap.Space
+	youngBuf  []*heap.Space
+	keepBuf   []heap.Word
+	rsARootTen func(obj heap.Word)
+	ctrl      *policy.Controller
+	adaptOn   bool
 }
 
 // Option configures the collector.
@@ -70,6 +85,22 @@ func WithRemsets(a, b remset.Set) Option {
 // WithGrowth permits the dynamic area to grow (by whole steps) when
 // survivors overflow a non-predictive collection or promotion cannot fit.
 func WithGrowth() Option { return func(c *Collector) { c.allowGrow = true } }
+
+// WithTenure sets the promotion threshold explicitly, overriding the
+// heap's GCTenure setting (1 = wholesale, heap.TenureNever = never).
+func WithTenure(threshold int) Option {
+	if threshold < 1 {
+		panic("hybrid: tenure threshold must be at least 1")
+	}
+	return func(c *Collector) { c.threshold = threshold }
+}
+
+// WithAdaptive puts the threshold and nursery trigger under the
+// internal/policy feedback controller, overriding the heap's GCAdaptive
+// setting.
+func WithAdaptive() Option {
+	return func(c *Collector) { c.adaptOn = true }
+}
 
 // New creates a hybrid collector with the given nursery size and k dynamic
 // steps of stepWords each, installing itself as h's allocator and barrier.
@@ -137,10 +168,48 @@ func New(h *heap.Heap, nurseryWords, k, stepWords int, opts ...Option) *Collecto
 		}
 	}
 	c.st.SetJ(c.policy.ChooseJ(k, k))
+	if c.threshold == 0 {
+		c.threshold = h.GCTenure()
+	}
+	if !c.adaptOn {
+		c.adaptOn = h.GCAdaptive()
+	}
+	c.trigger = nurseryWords
+	if c.adaptOn {
+		c.ctrl = policy.New(policy.Config{})
+	}
+	if c.threshold > 1 || c.ctrl != nil {
+		c.nurseryTo = h.NewSpace("nursery-to", nurseryWords)
+		c.nursery.EnsureAgeTable()
+		c.nurseryTo.EnsureAgeTable()
+		c.youngBuf = []*heap.Space{c.nurseryTo}
+		c.rsARootTen = func(obj heap.Word) {
+			c.stats.RemsetScanned++
+			heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), c.evac.SlotTenured())
+		}
+	}
 	h.SetAllocator(c)
 	h.SetBarrier(c)
 	return c
 }
+
+// tenured reports whether promoting collections run the age-routing engine.
+func (c *Collector) tenured() bool { return c.nurseryTo != nil }
+
+// TenureThreshold implements heap.Tenurer.
+func (c *Collector) TenureThreshold() int { return c.threshold }
+
+// YoungSpaces implements heap.Tenurer: the nursery, then the survivor
+// shadow when tenuring is armed.
+func (c *Collector) YoungSpaces() []*heap.Space {
+	if c.nurseryTo == nil {
+		return []*heap.Space{c.nursery}
+	}
+	return []*heap.Space{c.nursery, c.nurseryTo}
+}
+
+// Adaptive implements heap.Tenurer.
+func (c *Collector) Adaptive() bool { return c.ctrl != nil }
 
 // Name implements heap.Collector.
 func (c *Collector) Name() string { return "hybrid (ephemeral + non-predictive)" }
@@ -223,13 +292,22 @@ func (c *Collector) AllocRaw(t heap.Type, payload int) heap.Word {
 	if total > c.nursery.Cap()/2 {
 		return c.allocDynamic(t, payload, total)
 	}
-	off, ok := c.nursery.Bump(total)
-	if !ok {
+	if c.nursery.Top+total > c.trigger {
+		// Same condition as a failed Bump when the trigger sits at the
+		// nursery cap (the wholesale default); the adaptive controller may
+		// pull it lower.
 		c.minor()
+	}
+	off, ok := c.nursery.Bump(total)
+	if !ok && c.tenured() {
+		// Retained survivors can leave too little room even after a
+		// promoting collection; a non-predictive collection empties the
+		// nursery wholesale and guarantees progress.
+		c.npCollect()
 		off, ok = c.nursery.Bump(total)
-		if !ok {
-			panic(fmt.Sprintf("hybrid: nursery cannot hold %d words", total))
-		}
+	}
+	if !ok {
+		panic(fmt.Sprintf("hybrid: nursery cannot hold %d words", total))
 	}
 	return c.h.InitObject(c.nursery, off, t, payload)
 }
@@ -262,6 +340,10 @@ func (c *Collector) allocDynamic(t heap.Type, payload, total int) heap.Word {
 // region alone has room, a non-predictive collection (which itself empties
 // the nursery) runs instead.
 func (c *Collector) minor() {
+	if c.tenured() {
+		c.minorTenured()
+		return
+	}
 	var targets []*heap.Space
 	intoYoung := false
 	if free := c.regionFree(c.st.J(), c.st.K()); free >= c.nursery.Used() {
@@ -302,6 +384,150 @@ func (c *Collector) minor() {
 	c.h.AddPause(&c.stats, e.WordsCopied)
 	c.notePeaks()
 	c.h.AfterGC()
+}
+
+// minorTenured runs a promoting collection with age routing: survivors
+// younger than the threshold flip into the nursery shadow, the rest go to
+// the dynamic area under the same all-into-old / all-into-young region
+// decision the wholesale path makes. Because retained survivors stay in
+// the (new) nursery, remembered set A is refiltered rather than cleared,
+// and the freshly promoted regions are scanned for pointers back into it.
+func (c *Collector) minorTenured() {
+	var targets []*heap.Space
+	intoYoung := false
+	if free := c.regionFree(c.st.J(), c.st.K()); free >= c.nursery.Used() {
+		targets = c.regionTargets(c.st.J(), c.st.K())
+	} else if free := c.regionFree(0, c.st.J()); free >= c.nursery.Used() {
+		targets = c.regionTargets(0, c.st.J())
+		intoYoung = true
+	} else {
+		c.npCollect()
+		return
+	}
+	fresh := c.nursery.Top - c.carry
+	e := c.evac
+	e.SetFrom(c.nursery)
+	e.BeginTenured(c.threshold, c.youngBuf, targets...)
+	e.EvacuateRootsTenured()
+	c.rsA.ForEach(c.rsARootTen)
+	e.DrainTenured()
+
+	// Promotion turned some nursery pointers held by set-A entries into
+	// step pointers; migrate the entries set B must now cover (the §8.4
+	// situation 3 becoming 5 or 6). Entries themselves never move.
+	c.rsA.ForEach(c.rsAPromoted)
+
+	c.nursery.Reset()
+	c.nursery, c.nurseryTo = c.nurseryTo, c.nursery
+	c.youngBuf[0] = c.nurseryTo
+	c.carry = c.nursery.Top
+	c.refilterRsA()
+	c.rememberPromoted()
+	c.st.RecomputeAllocIdx()
+
+	if intoYoung {
+		// Situation 5: promoted objects pointing into steps j+1..k enter
+		// remembered set B.
+		e.CopiedRegions(c.promoRegion)
+	}
+
+	c.stats.Collections++
+	c.stats.WordsCopied += e.WordsCopied
+	c.stats.WordsPromoted += e.WordsPromoted
+	c.stats.WordsTenured += e.WordsRetained
+	c.stats.TenureThreshold = c.threshold
+	c.h.AddPause(&c.stats, e.WordsCopied)
+	c.notePeaks()
+	c.adapt(fresh, e)
+	c.h.AfterGC()
+}
+
+// refilterRsA drops set-A entries that no longer point into the
+// (post-flip) nursery. Entries live outside the nursery and do not move
+// in a promoting collection, so survivors keep their addresses.
+func (c *Collector) refilterRsA() {
+	keep := c.keepBuf[:0]
+	nurseryID := c.nursery.ID
+	found := false
+	probe := func(slot *heap.Word) {
+		if !found && heap.IsPtr(*slot) && heap.PtrSpace(*slot) == nurseryID {
+			found = true
+		}
+	}
+	c.rsA.ForEach(func(obj heap.Word) {
+		found = false
+		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), probe)
+		if found {
+			keep = append(keep, obj)
+		}
+	})
+	c.rsA.Clear()
+	for _, w := range keep {
+		c.rsA.Remember(w)
+	}
+	c.keepBuf = keep[:0]
+}
+
+// rememberPromoted scans the objects this collection promoted into the
+// dynamic area: any that reference a retained nursery survivor are
+// outside-to-nursery pointers the barrier never saw (both ends moved
+// during the collection), so they enter set A. Must run after the flip.
+func (c *Collector) rememberPromoted() {
+	nurseryID := c.nursery.ID
+	found := false
+	probe := func(slot *heap.Word) {
+		if !found && heap.IsPtr(*slot) && heap.PtrSpace(*slot) == nurseryID {
+			found = true
+		}
+	}
+	c.evac.CopiedRegions(func(s *heap.Space, lo, hi int) {
+		for off := lo; off < hi; {
+			hdr := s.Mem[off]
+			if heap.HeaderType(hdr) == heap.TFree {
+				off += heap.ObjWords(hdr)
+				continue
+			}
+			found = false
+			heap.ScanObject(s, off, probe)
+			if found {
+				c.rsA.Remember(heap.PtrWord(s.ID, off))
+			}
+			off += heap.ObjWords(hdr)
+		}
+	})
+}
+
+// adapt feeds the policy controller one tenured promoting collection and
+// applies its decision.
+func (c *Collector) adapt(fresh int, e *heap.Evacuator) {
+	if c.ctrl == nil {
+		return
+	}
+	if fresh < 0 {
+		fresh = 0
+	}
+	surv, retained := e.SurvivorsByAge()
+	d := c.ctrl.Observe(policy.Observation{
+		FreshWords:    uint64(fresh),
+		SurvByAge:     *surv,
+		RetainedByAge: *retained,
+		PromotedWords: e.WordsPromoted,
+		NurseryCap:    c.nursery.Cap(),
+	})
+	c.threshold = d.Threshold
+	trigger := d.TriggerWords
+	if trigger <= 0 || trigger > c.nursery.Cap() {
+		trigger = c.nursery.Cap()
+	}
+	if floor := c.nursery.Top + c.nursery.Cap()/8; trigger < floor {
+		trigger = floor
+		if trigger > c.nursery.Cap() {
+			trigger = c.nursery.Cap()
+		}
+	}
+	c.trigger = trigger
+	c.stats.PolicyAdaptations = c.ctrl.Adaptations()
+	c.stats.TenureThreshold = c.threshold
 }
 
 // regionFree sums free words in logical step positions [lo, hi).
@@ -402,6 +628,13 @@ func (c *Collector) npCollect() {
 	c.h.AddPause(&c.stats, copied)
 	c.stats.NoteLive(c.st.LiveStepWords())
 	c.notePeaks()
+	if c.tenured() {
+		// The non-predictive collection emptied the nursery wholesale.
+		c.carry = 0
+		if c.ctrl != nil {
+			c.ctrl.ObserveMajor(copied)
+		}
+	}
 	c.h.AfterGC()
 }
 
@@ -466,6 +699,7 @@ func (c *Collector) PromoteAllToStatic() {
 	c.stats.WordsCopied += e.WordsCopied
 	c.h.AddPause(&c.stats, e.WordsCopied)
 	c.notePeaks()
+	c.carry = 0
 	c.h.AfterGC()
 }
 

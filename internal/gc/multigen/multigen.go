@@ -20,6 +20,7 @@ import (
 	"fmt"
 
 	"rdgc/internal/heap"
+	"rdgc/internal/policy"
 	"rdgc/internal/remset"
 )
 
@@ -44,6 +45,20 @@ type Collector struct {
 	windowRoot func(obj heap.Word)
 
 	expand float64
+
+	// Age-based tenuring (heap/tenure.go), applied to the nursery only:
+	// nursery-window collections retain under-threshold survivors in the
+	// gen0To shadow instead of promoting them to generation 1. Wider
+	// windows keep their wholesale one-generation-per-collection aging.
+	// All nil/zero under the default threshold of 1.
+	threshold     int
+	trigger       int
+	carry         int
+	gen0To        *heap.Space
+	youngBuf      []*heap.Space
+	windowRootTen func(obj heap.Word)
+	ctrl          *policy.Controller
+	adaptOn       bool
 }
 
 // Option configures the collector.
@@ -61,6 +76,22 @@ func WithExpansion(invLoad float64) Option {
 // WithRemset substitutes the remembered-set representation.
 func WithRemset(rs remset.Set) Option { return func(c *Collector) { c.rs = rs } }
 
+// WithTenure sets the nursery promotion threshold explicitly, overriding
+// the heap's GCTenure setting (1 = wholesale, heap.TenureNever = never).
+func WithTenure(threshold int) Option {
+	if threshold < 1 {
+		panic("multigen: tenure threshold must be at least 1")
+	}
+	return func(c *Collector) { c.threshold = threshold }
+}
+
+// WithAdaptive puts the threshold and nursery trigger under the
+// internal/policy feedback controller, overriding the heap's GCAdaptive
+// setting.
+func WithAdaptive() Option {
+	return func(c *Collector) { c.adaptOn = true }
+}
+
 // New creates a collector whose generation sizes (in words, youngest
 // first) are given explicitly; the last size is the old-semispace size.
 // len(sizes) >= 2.
@@ -69,6 +100,8 @@ func New(h *heap.Heap, sizes []int, opts ...Option) *Collector {
 		panic("multigen: need at least 2 generations")
 	}
 	c := &Collector{h: h, rs: remset.NewHashSet()}
+	c.threshold = h.GCTenure()
+	c.adaptOn = h.GCAdaptive()
 	for _, o := range opts {
 		o(c)
 	}
@@ -76,7 +109,7 @@ func New(h *heap.Heap, sizes []int, opts ...Option) *Collector {
 		c.gens = append(c.gens, h.NewSpace(fmt.Sprintf("gen-%d", i), words))
 	}
 	c.oldTo = h.NewSpace("gen-old-B", sizes[len(sizes)-1])
-	c.rebuildGenOf()
+	c.trigger = sizes[0]
 	c.evac = heap.NewEvacuator(h, nil)
 	c.windowRoot = func(obj heap.Word) {
 		// Remembered objects in generations > window may hold the only
@@ -87,10 +120,45 @@ func New(h *heap.Heap, sizes []int, opts ...Option) *Collector {
 		c.stats.RemsetScanned++
 		heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), c.evac.Slot())
 	}
+	if c.adaptOn {
+		c.ctrl = policy.New(policy.Config{})
+	}
+	if c.threshold > 1 || c.ctrl != nil {
+		c.gen0To = h.NewSpace("gen-0-to", sizes[0])
+		c.gens[0].EnsureAgeTable()
+		c.gen0To.EnsureAgeTable()
+		c.youngBuf = []*heap.Space{c.gen0To}
+		c.windowRootTen = func(obj heap.Word) {
+			if g := c.genIdx(obj); g >= 0 && g <= c.window {
+				return
+			}
+			c.stats.RemsetScanned++
+			heap.ScanObject(c.h.SpaceOf(obj), heap.PtrOff(obj), c.evac.SlotTenured())
+		}
+	}
+	c.rebuildGenOf()
 	h.SetAllocator(c)
 	h.SetBarrier(c)
 	return c
 }
+
+// tenured reports whether nursery collections run the age-routing engine.
+func (c *Collector) tenured() bool { return c.gen0To != nil }
+
+// TenureThreshold implements heap.Tenurer.
+func (c *Collector) TenureThreshold() int { return c.threshold }
+
+// YoungSpaces implements heap.Tenurer: the nursery, then the survivor
+// shadow when tenuring is armed.
+func (c *Collector) YoungSpaces() []*heap.Space {
+	if c.gen0To == nil {
+		return []*heap.Space{c.gens[0]}
+	}
+	return []*heap.Space{c.gens[0], c.gen0To}
+}
+
+// Adaptive implements heap.Tenurer.
+func (c *Collector) Adaptive() bool { return c.ctrl != nil }
 
 func (c *Collector) rebuildGenOf() {
 	if n := len(c.h.Spaces); n > len(c.genOf) {
@@ -168,13 +236,21 @@ func (c *Collector) AllocRaw(t heap.Type, payload int) heap.Word {
 	if total > c.gens[0].Cap()/2 {
 		return c.allocOld(t, payload, total)
 	}
-	off, ok := c.gens[0].Bump(total)
-	if !ok {
+	if c.gens[0].Top+total > c.trigger {
+		// Same condition as a failed Bump when the trigger sits at the
+		// nursery cap (the wholesale default); the adaptive controller may
+		// pull it lower.
 		c.collectUpTo(c.chooseWindow(total))
+	}
+	off, ok := c.gens[0].Bump(total)
+	if !ok && c.tenured() {
+		// Retained survivors can leave too little room even after a
+		// nursery collection; a major empties every generation.
+		c.major()
 		off, ok = c.gens[0].Bump(total)
-		if !ok {
-			panic(fmt.Sprintf("multigen: nursery cannot hold %d words", total))
-		}
+	}
+	if !ok {
+		panic(fmt.Sprintf("multigen: nursery cannot hold %d words", total))
 	}
 	return c.h.InitObject(c.gens[0], off, t, payload)
 }
@@ -216,6 +292,10 @@ func (c *Collector) collectUpTo(m int) {
 		c.major()
 		return
 	}
+	if m == 0 && c.tenured() {
+		c.minorTenured()
+		return
+	}
 	target := c.gens[m+1]
 	e := c.evac
 	e.SetFrom(c.gens[:m+1]...)
@@ -234,7 +314,105 @@ func (c *Collector) collectUpTo(m int) {
 	c.stats.WordsPromoted += e.WordsCopied
 	c.h.AddPause(&c.stats, e.WordsCopied)
 	c.notePeak()
+	if c.tenured() {
+		// The window included the nursery and promoted it wholesale.
+		c.carry = 0
+	}
 	c.h.AfterGC()
+}
+
+// minorTenured collects the nursery alone with age routing: survivors
+// younger than the threshold flip into the gen0To shadow with their side-
+// table ages incremented, the rest are promoted to generation 1. Only
+// reached when chooseWindow picked m == 0, which guarantees generation 1
+// has headroom for the worst case.
+func (c *Collector) minorTenured() {
+	nursery := c.gens[0]
+	fresh := nursery.Top - c.carry
+	e := c.evac
+	e.SetFrom(nursery)
+	e.BeginTenured(c.threshold, c.youngBuf, c.gens[1])
+	e.EvacuateRootsTenured()
+	c.window = 0
+	c.rs.ForEach(c.windowRootTen)
+	e.DrainTenured()
+	nursery.Reset()
+	c.gens[0], c.gen0To = c.gen0To, c.gens[0]
+	c.youngBuf[0] = c.gen0To
+	c.rebuildGenOf()
+	c.carry = c.gens[0].Top
+	c.refilterRemset()
+	c.rememberPromoted()
+
+	c.stats.Collections++
+	c.stats.WordsCopied += e.WordsCopied
+	c.stats.WordsPromoted += e.WordsPromoted
+	c.stats.WordsTenured += e.WordsRetained
+	c.stats.TenureThreshold = c.threshold
+	c.h.AddPause(&c.stats, e.WordsCopied)
+	c.notePeak()
+	c.adapt(fresh, e)
+	c.h.AfterGC()
+}
+
+// rememberPromoted scans the objects this collection promoted into
+// generation 1: any that reference a retained nursery survivor are
+// older-to-younger pointers the barrier never saw (both ends moved during
+// the collection). Must run after the flip and rebuildGenOf.
+func (c *Collector) rememberPromoted() {
+	found := false
+	g := 0
+	probe := func(slot *heap.Word) {
+		if found || !heap.IsPtr(*slot) {
+			return
+		}
+		if gv := c.genIdx(*slot); gv >= 0 && gv < g {
+			found = true
+		}
+	}
+	c.evac.CopiedRegions(func(s *heap.Space, lo, hi int) {
+		for off := lo; off < hi; off += heap.ObjWords(s.Mem[off]) {
+			g = c.genIdx(heap.PtrWord(s.ID, off))
+			found = false
+			heap.ScanObject(s, off, probe)
+			if found {
+				c.rs.Remember(heap.PtrWord(s.ID, off))
+			}
+		}
+	})
+}
+
+// adapt feeds the policy controller one tenured nursery collection and
+// applies its decision.
+func (c *Collector) adapt(fresh int, e *heap.Evacuator) {
+	if c.ctrl == nil {
+		return
+	}
+	if fresh < 0 {
+		fresh = 0
+	}
+	surv, retained := e.SurvivorsByAge()
+	d := c.ctrl.Observe(policy.Observation{
+		FreshWords:    uint64(fresh),
+		SurvByAge:     *surv,
+		RetainedByAge: *retained,
+		PromotedWords: e.WordsPromoted,
+		NurseryCap:    c.gens[0].Cap(),
+	})
+	c.threshold = d.Threshold
+	trigger := d.TriggerWords
+	if trigger <= 0 || trigger > c.gens[0].Cap() {
+		trigger = c.gens[0].Cap()
+	}
+	if floor := c.gens[0].Top + c.gens[0].Cap()/8; trigger < floor {
+		trigger = floor
+		if trigger > c.gens[0].Cap() {
+			trigger = c.gens[0].Cap()
+		}
+	}
+	c.trigger = trigger
+	c.stats.PolicyAdaptations = c.ctrl.Adaptations()
+	c.stats.TenureThreshold = c.threshold
 }
 
 // major collects every generation into the old to-space and flips.
@@ -266,6 +444,13 @@ func (c *Collector) major() {
 	c.h.AddPause(&c.stats, e.WordsCopied)
 	c.stats.NoteLive(c.gens[last].Used())
 	c.notePeak()
+
+	if c.tenured() {
+		c.carry = 0
+		if c.ctrl != nil {
+			c.ctrl.ObserveMajor(e.WordsCopied)
+		}
+	}
 
 	if c.expand > 0 {
 		live := c.gens[last].Used()

@@ -68,8 +68,21 @@ type Evacuator struct {
 	// it to VisitRoots/ScanObject never allocates.
 	evacSlot func(slot *Word)
 
+	// ten is the lazily created age-routing machinery (tenure.go),
+	// persistent so steady-state tenured collections allocate nothing. It
+	// is only consulted by the BeginTenured/DrainTenured entry points; the
+	// wholesale paths above never touch it.
+	ten *tenureState
+
 	WordsCopied   uint64
 	ObjectsCopied int
+
+	// WordsPromoted and WordsRetained split WordsCopied for tenured runs
+	// (tenure.go): words that reached the old targets versus words kept in
+	// the survivor shadow. Both stay 0 on wholesale runs, where every
+	// copied word is a promotion decision left to the collector.
+	WordsPromoted uint64
+	WordsRetained uint64
 }
 
 // NewEvacuator prepares an engine whose copies land in targets, recording
@@ -117,6 +130,11 @@ func (e *Evacuator) Begin(targets ...*Space) {
 	e.moved = e.H.moved
 	e.WordsCopied = 0
 	e.ObjectsCopied = 0
+	e.WordsPromoted = 0
+	e.WordsRetained = 0
+	if e.ten != nil {
+		e.ten.armed = false
+	}
 }
 
 // Slot returns the evacuator's stored slot-visitor function. Passing it to

@@ -60,6 +60,13 @@ type GCStats struct {
 	PeakLive         int    // largest post-collection occupancy observed
 	BarrierShades    uint64 // objects shaded gray by the incremental write barrier
 
+	// Age-based tenuring and adaptive-policy accounting (tenure.go,
+	// internal/policy). All three stay zero under wholesale promotion, so
+	// threshold-1 runs report GCStats bit-identical to pre-tenuring ones.
+	WordsTenured      uint64 // survivor words retained in the nursery by age routing
+	TenureThreshold   int    // threshold in effect after the last tenured collection (0 = wholesale)
+	PolicyAdaptations int    // knob changes applied by the adaptive controller
+
 	// Pauses is the histogram of every mutator-visible pause: one entry per
 	// stop-the-world collection, and in incremental mode one entry per mark
 	// slice, termination phase, and on-demand sweep. Its TotalWords/MaxWords
@@ -151,6 +158,13 @@ type Heap struct {
 	gcIncr  bool
 	gcSlice int
 
+	// gcTenure is the promotion threshold supporting collectors read at
+	// construction (1 = wholesale promotion; tenure.go); gcAdapt hands the
+	// threshold and nursery trigger to the internal/policy controller. New
+	// seeds both from the package defaults.
+	gcTenure int
+	gcAdapt  bool
+
 	// pauseLog, when non-nil, receives the raw words-of-work of every pause
 	// recorded through Heap.AddPause (the -pauselog stream).
 	pauseLog func(words uint64)
@@ -199,6 +213,8 @@ func New(opts ...Option) *Heap {
 		gcLAB:     defaultGCLAB.Load(),
 		gcIncr:    defaultGCIncr.Load(),
 		gcSlice:   DefaultGCSliceBudget(),
+		gcTenure:  DefaultGCTenure(),
+		gcAdapt:   defaultGCAdapt.Load(),
 	}
 	for _, o := range opts {
 		o(h)

@@ -27,6 +27,12 @@ type Space struct {
 	// per-block summary (one bit per block); see block.go.
 	marks []uint64
 	dirty []uint64
+
+	// ages is the optional per-object age table (one byte per word,
+	// indexed by header offset), allocated on demand by EnsureAgeTable;
+	// see the age-tenuring section of block.go. Nil on spaces whose
+	// collector never tenures by age.
+	ages []uint8
 }
 
 // Cap returns the capacity of the space in words.
@@ -43,6 +49,7 @@ func (s *Space) Used() int { return s.Top - s.Waste }
 // allocation paths initialize every word they hand out. Any mark bits are
 // dropped (in O(dirty blocks)) so a recycled space starts unmarked.
 func (s *Space) Reset() {
+	s.clearAges()
 	s.Top = 0
 	s.Waste = 0
 	s.ClearMarkBits()
@@ -70,6 +77,9 @@ func (s *Space) Resize(words int) {
 	s.Mem = make([]Word, words)
 	s.marks = make([]uint64, (words+63)/64)
 	s.dirty = make([]uint64, ((words+BlockMask)>>BlockShift+63)/64)
+	if s.ages != nil {
+		s.ages = make([]uint8, words)
+	}
 	s.Top = 0
 	s.Waste = 0
 }

@@ -1,0 +1,325 @@
+package heap
+
+import (
+	"testing"
+)
+
+func TestAgeTableBasics(t *testing.T) {
+	h := New()
+	s := h.NewSpace("aged", 64)
+	if s.HasAgeTable() {
+		t.Fatal("fresh space has an age table")
+	}
+	if got := s.AgeAt(0); got != 0 {
+		t.Fatalf("AgeAt on nil table = %d, want 0", got)
+	}
+	s.EnsureAgeTable()
+	if !s.HasAgeTable() {
+		t.Fatal("EnsureAgeTable did not install a table")
+	}
+	s.EnsureAgeTable() // idempotent
+	s.SetAgeAt(3, 7)
+	if got := s.AgeAt(3); got != 7 {
+		t.Fatalf("AgeAt = %d, want 7", got)
+	}
+	s.SetAgeAt(4, MaxObjectAge+10)
+	if got := s.AgeAt(4); got != MaxObjectAge {
+		t.Fatalf("age did not saturate: %d, want %d", got, MaxObjectAge)
+	}
+
+	// Reset clears the used prefix of the table.
+	s.Top = 8
+	s.Reset()
+	if got := s.AgeAt(3); got != 0 {
+		t.Fatalf("age survived Reset: %d", got)
+	}
+
+	// Resize keeps an age table, sized to the new capacity.
+	s.Resize(128)
+	if !s.HasAgeTable() {
+		t.Fatal("Resize dropped the age table")
+	}
+	s.SetAgeAt(100, 1)
+	if got := s.AgeAt(100); got != 1 {
+		t.Fatalf("post-Resize AgeAt = %d, want 1", got)
+	}
+}
+
+func TestSetAgeAtWithoutTablePanics(t *testing.T) {
+	h := New()
+	s := h.NewSpace("bare", 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetAgeAt on a table-less space did not panic")
+		}
+	}()
+	s.SetAgeAt(0, 1)
+}
+
+func TestTenureConfigDefaultsAndEnv(t *testing.T) {
+	defer SetDefaultGCTenure(0)
+	defer SetDefaultGCAdaptive(false)
+
+	if DefaultGCTenure() != 1 {
+		t.Fatalf("unset DefaultGCTenure = %d, want 1", DefaultGCTenure())
+	}
+	SetDefaultGCTenure(6)
+	if DefaultGCTenure() != 6 {
+		t.Fatalf("DefaultGCTenure = %d, want 6", DefaultGCTenure())
+	}
+	SetDefaultGCTenure(0)
+	if DefaultGCTenure() != 1 {
+		t.Fatal("SetDefaultGCTenure(0) did not restore the unset state")
+	}
+
+	SetDefaultGCAdaptive(true)
+	if !DefaultGCAdaptive() {
+		t.Fatal("SetDefaultGCAdaptive(true) not reflected")
+	}
+	SetDefaultGCAdaptive(false)
+
+	t.Setenv(EnvGCTenure, "15")
+	if got := GCTenureFromEnv(); got != 15 {
+		t.Fatalf("GCTenureFromEnv = %d, want 15", got)
+	}
+	t.Setenv(EnvGCTenure, "never")
+	if got := GCTenureFromEnv(); got != TenureNever {
+		t.Fatalf("GCTenureFromEnv(never) = %d, want TenureNever", got)
+	}
+	t.Setenv(EnvGCTenure, "bogus")
+	if got := GCTenureFromEnv(); got != 1 {
+		t.Fatalf("GCTenureFromEnv(bogus) = %d, want 1", got)
+	}
+	t.Setenv(EnvGCTenure, "8")
+	if got := ResolveGCTenure(0); got != 8 {
+		t.Fatalf("ResolveGCTenure(sentinel) = %d, want env's 8", got)
+	}
+	if got := ResolveGCTenure(3); got != 3 {
+		t.Fatalf("ResolveGCTenure(3) = %d: explicit flag must win", got)
+	}
+
+	t.Setenv(EnvGCAdapt, "1")
+	if !GCAdaptFromEnv() {
+		t.Fatal("GCAdaptFromEnv(1) = false")
+	}
+	t.Setenv(EnvGCAdapt, "junk")
+	if GCAdaptFromEnv() {
+		t.Fatal("GCAdaptFromEnv(junk) = true")
+	}
+}
+
+func TestHeapTenureSettings(t *testing.T) {
+	h := New()
+	if h.GCTenure() != 1 || h.GCAdaptive() {
+		t.Fatal("fresh heap not at wholesale defaults")
+	}
+	h.SetGCTenure(4)
+	if h.GCTenure() != 4 {
+		t.Fatalf("GCTenure = %d, want 4", h.GCTenure())
+	}
+	h.SetGCTenure(0)
+	if h.GCTenure() != 1 {
+		t.Fatal("SetGCTenure(0) did not restore wholesale")
+	}
+	h.SetGCAdaptive(true)
+	if !h.GCAdaptive() {
+		t.Fatal("SetGCAdaptive not reflected")
+	}
+
+	SetDefaultGCTenure(7)
+	SetDefaultGCAdaptive(true)
+	defer SetDefaultGCTenure(0)
+	defer SetDefaultGCAdaptive(false)
+	h2 := New()
+	if h2.GCTenure() != 7 || !h2.GCAdaptive() {
+		t.Fatalf("New did not inherit defaults: tenure %d adaptive %v",
+			h2.GCTenure(), h2.GCAdaptive())
+	}
+}
+
+// tenureRig is a nursery + survivor shadow + old target with a bump
+// allocator over the nursery, for driving the tenured evacuator directly.
+type tenureRig struct {
+	h       *Heap
+	nursery *Space
+	shadow  *Space
+	old     *Space
+}
+
+func newTenureRig(t *testing.T, nurseryWords, shadowWords, oldWords int) *tenureRig {
+	t.Helper()
+	h := New()
+	r := &tenureRig{
+		h:       h,
+		nursery: h.NewSpace("nursery", nurseryWords),
+		shadow:  h.NewSpace("shadow", shadowWords),
+		old:     h.NewSpace("old", oldWords),
+	}
+	r.nursery.EnsureAgeTable()
+	r.shadow.EnsureAgeTable()
+	h.SetAllocator(r)
+	return r
+}
+
+func (r *tenureRig) AllocRaw(t Type, payload int) Word {
+	total := 1 + payload + r.h.ExtraWords()
+	off, ok := r.nursery.Bump(total)
+	if !ok {
+		panic("tenureRig: nursery full")
+	}
+	return r.h.InitObject(r.nursery, off, t, payload)
+}
+
+// collect runs one tenured collection of r.nursery into the shadow/old
+// pair and returns the evacuator for counter inspection.
+func (r *tenureRig) collect(threshold int) *Evacuator {
+	e := NewEvacuator(r.h, nil)
+	e.SetFrom(r.nursery)
+	e.BeginTenured(threshold, []*Space{r.shadow}, r.old)
+	e.EvacuateRootsTenured()
+	e.DrainTenured()
+	r.nursery.Reset()
+	r.nursery, r.shadow = r.shadow, r.nursery
+	return e
+}
+
+func TestTenuredEvacuatorRetainsUnderThreshold(t *testing.T) {
+	r := newTenureRig(t, 256, 256, 1024)
+	h := r.h
+	sc := h.Scope()
+	defer sc.Close()
+
+	live := h.Cons(h.Fix(1), h.Cons(h.Fix(2), h.Null()))
+	inner := h.Scope()
+	h.Cons(h.Fix(99), h.Null()) // garbage once the inner scope closes
+	inner.Close()
+
+	e := r.collect(2)
+	if e.WordsPromoted != 0 {
+		t.Fatalf("first collection promoted %d words, want 0", e.WordsPromoted)
+	}
+	if e.WordsRetained != 6 { // two pairs, 3 words each
+		t.Fatalf("retained %d words, want 6", e.WordsRetained)
+	}
+	if e.WordsCopied != e.WordsRetained {
+		t.Fatalf("copied %d != retained %d", e.WordsCopied, e.WordsRetained)
+	}
+	if r.old.Used() != 0 {
+		t.Fatalf("old area got %d words on the first collection", r.old.Used())
+	}
+	w := h.Get(live)
+	if PtrSpace(w) != r.nursery.ID {
+		t.Fatal("survivor did not land in the (flipped) nursery")
+	}
+	if got := r.nursery.AgeAt(PtrOff(w)); got != 1 {
+		t.Fatalf("survivor age = %d, want 1", got)
+	}
+	if got := h.FixVal(h.Car(live)); got != 1 {
+		t.Fatalf("survivor corrupted: car = %d", got)
+	}
+	surv, retained := e.SurvivorsByAge()
+	if surv[0] != 6 || retained[1] != 6 {
+		t.Fatalf("SurvivorsByAge: surv=%v retained=%v, want 6 in class 0 / class 1",
+			surv[0], retained[1])
+	}
+
+	// Second collection: ages hit the threshold, everything promotes.
+	e = r.collect(2)
+	if e.WordsRetained != 0 || e.WordsPromoted != 6 {
+		t.Fatalf("second collection: retained %d promoted %d, want 0/6",
+			e.WordsRetained, e.WordsPromoted)
+	}
+	w = h.Get(live)
+	if PtrSpace(w) != r.old.ID {
+		t.Fatal("aged survivor was not promoted to the old space")
+	}
+	surv, _ = e.SurvivorsByAge()
+	if surv[1] != 6 {
+		t.Fatalf("second collection surv[1] = %d, want 6", surv[1])
+	}
+	if got := h.FixVal(h.Car(h.Cdr(live))); got != 2 {
+		t.Fatalf("promoted list corrupted: cadr = %d", got)
+	}
+}
+
+func TestTenuredEvacuatorThresholdOnePromotesAll(t *testing.T) {
+	r := newTenureRig(t, 256, 256, 1024)
+	h := r.h
+	sc := h.Scope()
+	defer sc.Close()
+	live := h.Cons(h.Fix(5), h.Null())
+
+	e := r.collect(1)
+	if e.WordsRetained != 0 || e.WordsPromoted != 3 {
+		t.Fatalf("threshold 1: retained %d promoted %d, want 0/3",
+			e.WordsRetained, e.WordsPromoted)
+	}
+	if PtrSpace(h.Get(live)) != r.old.ID {
+		t.Fatal("threshold 1 did not promote to the old space")
+	}
+}
+
+func TestTenuredEvacuatorNeverPromotes(t *testing.T) {
+	r := newTenureRig(t, 256, 256, 1024)
+	h := r.h
+	sc := h.Scope()
+	defer sc.Close()
+	live := h.Cons(h.Fix(5), h.Null())
+
+	for i := 0; i < 5; i++ {
+		e := r.collect(TenureNever)
+		if e.WordsPromoted != 0 {
+			t.Fatalf("round %d promoted %d words under TenureNever", i, e.WordsPromoted)
+		}
+	}
+	w := h.Get(live)
+	if PtrSpace(w) != r.nursery.ID {
+		t.Fatal("TenureNever survivor left the young region")
+	}
+	if got := r.nursery.AgeAt(PtrOff(w)); got != 5 {
+		t.Fatalf("age after 5 rounds = %d, want 5", got)
+	}
+}
+
+func TestTenuredEvacuatorShadowOverflowPromotes(t *testing.T) {
+	// Shadow too small for both survivors: one is retained, the overflow
+	// is promoted early (the overflow-tenuring safety valve).
+	r := newTenureRig(t, 256, 3, 1024)
+	h := r.h
+	sc := h.Scope()
+	defer sc.Close()
+	a := h.Cons(h.Fix(1), h.Null())
+	b := h.Cons(h.Fix(2), h.Null())
+
+	e := NewEvacuator(r.h, nil)
+	e.SetFrom(r.nursery)
+	e.BeginTenured(4, []*Space{r.shadow}, r.old)
+	e.EvacuateRootsTenured()
+	e.DrainTenured()
+	if e.WordsRetained != 3 || e.WordsPromoted != 3 {
+		t.Fatalf("retained %d promoted %d, want 3/3", e.WordsRetained, e.WordsPromoted)
+	}
+	spaces := map[SpaceID]bool{
+		PtrSpace(h.Get(a)): true,
+		PtrSpace(h.Get(b)): true,
+	}
+	if !spaces[r.shadow.ID] || !spaces[r.old.ID] {
+		t.Fatalf("survivors in %v, want one in shadow and one in old", spaces)
+	}
+}
+
+func TestTenuredEvacuatorAgeSaturates(t *testing.T) {
+	r := newTenureRig(t, 64, 64, 256)
+	h := r.h
+	sc := h.Scope()
+	defer sc.Close()
+	live := h.Cons(h.Fix(9), h.Null())
+
+	for i := 0; i < MaxObjectAge+10; i++ {
+		r.collect(TenureNever)
+	}
+	w := h.Get(live)
+	if got := r.nursery.AgeAt(PtrOff(w)); got != MaxObjectAge {
+		t.Fatalf("age = %d, want saturation at %d", got, MaxObjectAge)
+	}
+}

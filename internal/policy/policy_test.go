@@ -1,0 +1,310 @@
+package policy
+
+import (
+	"math"
+	"testing"
+
+	"rdgc/internal/heap"
+	"rdgc/internal/lifetime"
+)
+
+// simulator drives a controller with synthetic steady-state workloads: each
+// round, every age class's at-risk population survives at the workload's
+// per-class fraction, and the survivors are split between retention and
+// promotion according to the threshold the controller currently commands —
+// exactly the feedback loop a tenuring collector closes.
+type simulator struct {
+	ctrl    *Controller
+	survive func(age int) float64
+	fresh   uint64
+	cap     int
+	pop     [heap.TenureAgeClasses]uint64
+}
+
+func newSimulator(survive func(age int) float64, fresh uint64, cap int) *simulator {
+	return &simulator{ctrl: New(Config{}), survive: survive, fresh: fresh, cap: cap}
+}
+
+// round plays one nursery collection and feeds the evidence back.
+func (s *simulator) round() Decision {
+	threshold := s.ctrl.Threshold()
+	var o Observation
+	o.FreshWords = s.fresh
+	o.NurseryCap = s.cap
+	for a := 0; a < heap.TenureAgeClasses; a++ {
+		at := s.pop[a]
+		if a == 0 {
+			at = s.fresh
+		}
+		surv := uint64(float64(at) * s.survive(a))
+		o.SurvByAge[a] = surv
+		newAge := a + 1
+		if newAge > heap.TenureAgeClasses-1 {
+			newAge = heap.TenureAgeClasses - 1
+		}
+		if threshold == heap.TenureNever || a+1 < threshold {
+			o.RetainedByAge[newAge] += surv
+		} else {
+			o.PromotedWords += surv
+		}
+	}
+	s.pop = o.RetainedByAge
+	return s.ctrl.Observe(o)
+}
+
+// TestDecayConvergesToNeverPromote: under radioactive decay the survival
+// fraction is age-invariant and well below K/(K+1), so every promotion is a
+// wasted old-area copy and the copy-cost argmin is the largest threshold.
+// The controller must ramp away from wholesale and settle at TenureNever.
+func TestDecayConvergesToNeverPromote(t *testing.T) {
+	s := newSimulator(func(int) float64 { return 0.25 }, 8192, 8192)
+	for i := 0; i < 60; i++ {
+		s.round()
+	}
+	if got := s.ctrl.Threshold(); got != heap.TenureNever {
+		t.Fatalf("decay workload: threshold = %d, want TenureNever", got)
+	}
+	// And it stays there: the policy must not flap once converged.
+	before := s.ctrl.Adaptations()
+	for i := 0; i < 40; i++ {
+		s.round()
+	}
+	if s.ctrl.Threshold() != heap.TenureNever {
+		t.Fatal("threshold left TenureNever on a stationary decay workload")
+	}
+	if got := s.ctrl.Adaptations(); got != before {
+		t.Errorf("threshold flapped after convergence: %d adaptations grew to %d", before, got)
+	}
+}
+
+// TestBimodalConvergesToFiniteThreshold: when words either die young or
+// live (nearly) forever, retaining the immortals re-copies them every
+// nursery collection for nothing, so a small finite threshold wins. Here
+// survival is 60% at age 0, 10% at age 1, and ~99% after — the argmin of
+// C(T) is T = 2.
+func TestBimodalConvergesToFiniteThreshold(t *testing.T) {
+	survive := func(age int) float64 {
+		switch age {
+		case 0:
+			return 0.6
+		case 1:
+			return 0.1
+		default:
+			return 0.99
+		}
+	}
+	s := newSimulator(survive, 8192, 8192)
+	for i := 0; i < 120; i++ {
+		s.round()
+	}
+	got := s.ctrl.Threshold()
+	if got == heap.TenureNever {
+		t.Fatal("bimodal workload: controller stuck at TenureNever")
+	}
+	if got != 2 {
+		t.Fatalf("bimodal workload: threshold = %d, want the copy-cost argmin 2", got)
+	}
+}
+
+// TestControllerIsDeterministic: the decision sequence is a pure function
+// of the observation sequence — two controllers fed the same observations
+// agree decision by decision and end in the same state.
+func TestControllerIsDeterministic(t *testing.T) {
+	mkObs := func(i int) Observation {
+		var o Observation
+		o.FreshWords = 4096 + uint64(i%7)*512
+		o.SurvByAge[0] = o.FreshWords / uint64(2+i%3)
+		o.SurvByAge[1] = 300
+		o.RetainedByAge[1] = o.SurvByAge[0]
+		o.PromotedWords = o.SurvByAge[1]
+		o.NurseryCap = 8192
+		return o
+	}
+	a, b := New(Config{}), New(Config{})
+	for i := 0; i < 50; i++ {
+		o := mkObs(i)
+		da, db := a.Observe(o), b.Observe(o)
+		if da != db {
+			t.Fatalf("observation %d: decisions diverge: %+v vs %+v", i, da, db)
+		}
+		if i%10 == 3 {
+			a.ObserveMajor(10000)
+			b.ObserveMajor(10000)
+		}
+	}
+	if a.Threshold() != b.Threshold() || a.Trigger() != b.Trigger() ||
+		a.Adaptations() != b.Adaptations() || a.OldCopyCost() != b.OldCopyCost() {
+		t.Fatalf("final states diverge: (%d,%d,%d,%g) vs (%d,%d,%d,%g)",
+			a.Threshold(), a.Trigger(), a.Adaptations(), a.OldCopyCost(),
+			b.Threshold(), b.Trigger(), b.Adaptations(), b.OldCopyCost())
+	}
+}
+
+// TestObserveIsAllocationFree pins the steady-state decision path at zero
+// allocations: Observe runs inside every minor collection pause.
+func TestObserveIsAllocationFree(t *testing.T) {
+	c := New(Config{})
+	var o Observation
+	o.FreshWords = 4096
+	o.SurvByAge[0] = 1024
+	o.SurvByAge[1] = 256
+	o.RetainedByAge[1] = 1024
+	o.PromotedWords = 256
+	o.NurseryCap = 8192
+	if avg := testing.AllocsPerRun(100, func() {
+		c.Observe(o)
+	}); avg != 0 {
+		t.Fatalf("Observe allocates %.1f times per call, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		c.ObserveMajor(5000)
+	}); avg != 0 {
+		t.Fatalf("ObserveMajor allocates %.1f times per call, want 0", avg)
+	}
+}
+
+// TestSeedSurvival: pre-loading the EWMAs from an offline survival curve
+// (the lifetime census shape) must move the policy before any online
+// evidence arrives — decay curves to TenureNever, bimodal curves to a
+// finite threshold — while NaN ("no evidence") rows are ignored.
+func TestSeedSurvival(t *testing.T) {
+	decay := New(Config{})
+	decay.SeedSurvival([]float64{0.2, 0.2, 0.2})
+	if got := decay.Threshold(); got != heap.TenureNever {
+		t.Fatalf("decay seed: threshold = %d, want TenureNever", got)
+	}
+
+	bimodal := New(Config{})
+	bimodal.SeedSurvival([]float64{0.6, 0.1, 0.99, 0.99})
+	if got := bimodal.Threshold(); got != 2 {
+		t.Fatalf("bimodal seed: threshold = %d, want 2", got)
+	}
+
+	// NaN and out-of-range entries teach nothing; an all-invalid seed
+	// leaves the controller at wholesale.
+	c := New(Config{})
+	c.SeedSurvival([]float64{math.NaN(), -0.5, 1.5})
+	if got := c.Threshold(); got != 1 {
+		t.Fatalf("invalid seed moved the threshold to %d", got)
+	}
+}
+
+// TestSeedSurvivalFromLifetimeTable closes the loop with the offline
+// census: lifetime.SurvivalFractions on a synthetic age-invariant survival
+// table feeds SeedSurvival, and the controller draws the decay-model
+// conclusion (never promote), NaN rows and all.
+func TestSeedSurvivalFromLifetimeTable(t *testing.T) {
+	rows := []lifetime.SurvivalRow{
+		{AgeLo: 0, AgeHi: 1, Live: 10000, Survived: 2000},
+		{AgeLo: 1, AgeHi: 2, Live: 2000, Survived: 400},
+		{AgeLo: 2, AgeHi: -1, Live: 0, Survived: 0}, // no evidence -> NaN
+	}
+	fr := lifetime.SurvivalFractions(rows)
+	if !math.IsNaN(fr[2]) {
+		t.Fatalf("SurvivalFractions empty row = %g, want NaN", fr[2])
+	}
+	c := New(Config{})
+	c.SeedSurvival(fr)
+	if got := c.Threshold(); got != heap.TenureNever {
+		t.Fatalf("census-seeded threshold = %d, want TenureNever", got)
+	}
+}
+
+// TestObserveMajorEstimatesOldCopyCost: K is measured as major-collection
+// copied words per word promoted since the previous major, first sample
+// replacing the seed, later samples EWMA-blended, all clamped to [0.5, 16].
+func TestObserveMajorEstimatesOldCopyCost(t *testing.T) {
+	c := New(Config{})
+	if got := c.OldCopyCost(); got != 4 {
+		t.Fatalf("seed K = %g, want 4", got)
+	}
+
+	// A major with no promotions since the last one teaches nothing.
+	c.ObserveMajor(12345)
+	if got := c.OldCopyCost(); got != 4 {
+		t.Fatalf("K moved without promotion evidence: %g", got)
+	}
+
+	var o Observation
+	o.FreshWords = 4096
+	o.PromotedWords = 1000
+	o.NurseryCap = 8192
+	c.Observe(o)
+	c.ObserveMajor(8000) // 8 copies per promoted word
+	if got := c.OldCopyCost(); got != 8 {
+		t.Fatalf("first measured K = %g, want 8", got)
+	}
+
+	// Clamping: an absurd major cannot capsize the estimate.
+	c.Observe(o)
+	c.ObserveMajor(1 << 30) // sample clamps to 16
+	want := 0.3*16 + 0.7*8.0
+	if got := c.OldCopyCost(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("clamped-high K = %g, want %g", got, want)
+	}
+	c.Observe(o)
+	c.ObserveMajor(1) // sample clamps to 0.5
+	want = 0.3*0.5 + 0.7*want
+	if got := c.OldCopyCost(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("clamped-low K = %g, want %g", got, want)
+	}
+}
+
+// TestTriggerSteering: the effective nursery size chases the target fresh
+// survival rate — high survival grows the trigger to the full nursery,
+// survival far below target shrinks it, never past the cap/4 floor.
+func TestTriggerSteering(t *testing.T) {
+	const cap = 8000
+	c := New(Config{})
+	hi := Observation{FreshWords: 4096, NurseryCap: cap}
+	hi.SurvByAge[0] = 3500 // f(0) ~ 0.85, way above 1/3
+	c.Observe(hi)
+	if got := c.Trigger(); got != cap {
+		t.Fatalf("high-survival trigger = %d, want the full nursery %d", got, cap)
+	}
+
+	lo := Observation{FreshWords: 4096, NurseryCap: cap}
+	lo.SurvByAge[0] = 10 // f(0) ~ 0, far below the target/16 shrink bar
+	for i := 0; i < 40; i++ {
+		c.Observe(lo)
+		if got := c.Trigger(); got < cap/4 || got > cap {
+			t.Fatalf("trigger %d escaped [cap/4, cap]", got)
+		}
+	}
+	if got := c.Trigger(); got != cap/4 {
+		t.Fatalf("low-survival trigger = %d, want the floor %d", got, cap/4)
+	}
+}
+
+// TestConfigDefaults: the zero Config resolves to the documented defaults
+// and silly values are clamped back into range.
+func TestConfigDefaults(t *testing.T) {
+	d := Config{}.withDefaults()
+	if d.Alpha != 0.3 || d.MaxThreshold != heap.TenureAgeClasses ||
+		d.OldCopyCost != 4 || d.TargetSurvival != 1.0/3 ||
+		d.MinSampleWords != 64 || d.Hysteresis != 0.05 {
+		t.Fatalf("zero-config defaults wrong: %+v", d)
+	}
+	bad := Config{Alpha: 7, MaxThreshold: 99, OldCopyCost: -1,
+		TargetSurvival: 2, Hysteresis: -3}.withDefaults()
+	if bad != d {
+		t.Fatalf("out-of-range config not clamped to defaults: %+v", bad)
+	}
+}
+
+// TestSmallSamplesTeachNothing: an age class below MinSampleWords must not
+// update the survival estimate — tiny populations are noise.
+func TestSmallSamplesTeachNothing(t *testing.T) {
+	c := New(Config{})
+	var o Observation
+	o.FreshWords = 32 // below the 64-word default
+	o.SurvByAge[0] = 32
+	o.NurseryCap = 8192
+	c.Observe(o)
+	if c.seen[0] {
+		t.Fatal("a 32-word sample updated the age-0 estimate")
+	}
+	if got := c.Threshold(); got != 1 {
+		t.Fatalf("threshold moved on no evidence: %d", got)
+	}
+}
