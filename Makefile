@@ -2,12 +2,12 @@
 # conformance pass that backs the parallel experiment runner.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR8.json
-BENCH_BASE ?= BENCH_PR7.json
+BENCH_OUT ?= BENCH_PR9.json
+BENCH_BASE ?= BENCH_PR8.json
 BENCH_NOW ?= /tmp/rdgc-bench-now.json
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race tier1 ci bench bench-compare fuzz traces
+.PHONY: all build vet test race tier1 ci bench bench-compare fuzz traces serve
 
 all: ci
 
@@ -34,10 +34,17 @@ ci:
 traces:
 	RDGC_WRITE_TRACES=1 $(GO) test ./internal/trace -run TestTraceCorpus -v
 
+# serve is the server-simulation smoke: a small sharded gcserve run on the
+# default load, printing the per-shard latency table. All time is in
+# allocated words (see DESIGN.md "Server simulation").
+serve:
+	$(GO) run ./cmd/gcserve -collector generational -shards 4 -horizon 30000 -heap 16384
+
 # bench runs the Go microbenchmarks, then measures the tracing engines,
-# the full collector grid, and the stop-the-world vs incremental pause
-# distributions, and writes the machine-readable report (the file checked
-# in as BENCH_PR8.json), after the workers=1 parity smoke.
+# the full collector grid, the stop-the-world vs incremental pause
+# distributions, and the sharded server-simulation latency grid, and writes
+# the machine-readable report (the file checked in as BENCH_PR9.json),
+# after the workers=1 parity smoke.
 bench:
 	$(GO) run ./cmd/benchreport -smoke
 	$(GO) test -bench=. -benchmem ./...

@@ -31,6 +31,7 @@ check_cover ./internal/heap 85
 check_cover ./internal/remset 96
 check_cover ./internal/trace 85
 check_cover ./internal/policy 96
+check_cover ./internal/serve 88
 
 # Parallel tracing and sweeping: the conformance suite (which parameterizes
 # worker counts itself) and the heap engines re-run under the race detector
@@ -56,6 +57,21 @@ RDGC_GC_INCR=1 go test -race -count=1 ./internal/heap ./internal/gc/marksweep ./
 # evacuation path with the feedback controller live.
 RDGC_GC_ADAPT=1 go test -race -count=1 ./internal/heap ./internal/gc/generational ./internal/gc/multigen ./internal/gc/hybrid ./internal/gc/conformance
 go run ./cmd/benchreport -smoke
+
+# Server simulation: the shard loop re-runs under the race detector with the
+# runner forced to four workers, so concurrent shards exercise their
+# no-shared-state contract; then the gcserve CLI determinism smoke — the
+# same seed and config must print byte-identical reports run-to-run and
+# across runner worker counts (the words-as-time clock admits no wall-time).
+RDGC_PARALLEL=4 go test -race -count=1 ./internal/serve
+serve_tmp=$(mktemp -d)
+serve_flags="-collector marksweep -gcincr -shards 4 -horizon 20000 -heap 16384 -seed 42 -arrival mmpp"
+go run ./cmd/gcserve $serve_flags > "$serve_tmp/a.txt"
+go run ./cmd/gcserve $serve_flags > "$serve_tmp/b.txt"
+go run ./cmd/gcserve $serve_flags -parallel 1 > "$serve_tmp/c.txt"
+cmp "$serve_tmp/a.txt" "$serve_tmp/b.txt"
+cmp "$serve_tmp/a.txt" "$serve_tmp/c.txt"
+rm -rf "$serve_tmp"
 
 # Trace smoke: record a small benchmark once, then replay the trace under
 # every collector with the deep heap-invariant verifier on. Exercises the

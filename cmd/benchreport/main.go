@@ -36,6 +36,7 @@ import (
 	"rdgc/internal/gc/npms"
 	"rdgc/internal/gc/semispace"
 	"rdgc/internal/heap"
+	"rdgc/internal/serve"
 	"rdgc/internal/trace"
 )
 
@@ -145,6 +146,47 @@ type TenureResult struct {
 	Error          string `json:"error,omitempty"`
 }
 
+// ServeResult is one cell of the server-simulation grid (internal/serve):
+// the sharded multi-tenant load served by one collector configuration, with
+// request-latency tail quantiles as the headline metric. Latency is in
+// ticks of the simulation's words-per-tick clock, so every field except
+// WallNS is deterministic — a changed tail between two reports is a policy
+// change, not noise.
+type ServeResult struct {
+	Collector       string  `json:"collector"`
+	Shards          int     `json:"shards"`
+	GCWorkers       int     `json:"gc_workers"`
+	Incremental     bool    `json:"incremental,omitempty"`
+	Adaptive        bool    `json:"adaptive,omitempty"`
+	Sessions        uint64  `json:"sessions"`
+	Requests        uint64  `json:"requests"`
+	ReqsPerKilotick float64 `json:"reqs_per_kilotick"`
+	AllocWords      uint64  `json:"alloc_words"`
+	GCPauseWords    uint64  `json:"gc_pause_words"`
+	Collections     int     `json:"collections"`
+	LatencyP50      uint64  `json:"latency_p50_ticks"`
+	LatencyP99      uint64  `json:"latency_p99_ticks"`
+	LatencyP999     uint64  `json:"latency_p999_ticks"`
+	LatencyMax      uint64  `json:"latency_max_ticks"`
+	FootprintWords  int     `json:"footprint_words"`
+	MakespanTicks   uint64  `json:"makespan_ticks"`
+	WallNS          int64   `json:"wall_ns"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// key names the cell for cross-report matching: every axis of the grid.
+func (r ServeResult) key() string {
+	return fmt.Sprintf("%s/s%d/w%d/i%s/a%s", r.Collector, r.Shards, r.GCWorkers,
+		boolDigit(r.Incremental), boolDigit(r.Adaptive))
+}
+
+func boolDigit(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
 // Report is one full measurement run. GoMaxProcs and NumCPU record what the
 // measurement had to work with: parallel speedups are only meaningful when
 // the schedulable cores cover the worker count (a 1-CPU container measures
@@ -161,6 +203,7 @@ type Report struct {
 	Tenuring   []TenureResult    `json:"tenuring,omitempty"`
 	Pauses     []PauseResult     `json:"pauses,omitempty"`
 	Traces     []TraceResult     `json:"traces,omitempty"`
+	Serve      []ServeResult     `json:"serve,omitempty"`
 }
 
 // Comparison is the checked-in before/after shape.
@@ -694,15 +737,9 @@ func pauseBenchmarks() []PauseResult {
 		}
 	}
 	for _, name := range []string{"nbody-24", "nucleic2"} {
-		var prog bench.Program
-		for _, p := range bench.Standard() {
-			if p.Name() == name {
-				prog = p
-				break
-			}
-		}
-		if prog == nil {
-			out = append(out, PauseResult{Workload: name, Error: "not in the standard registry"})
+		prog, err := bench.ByName(name, false)
+		if err != nil {
+			out = append(out, PauseResult{Workload: name, Error: err.Error()})
 			continue
 		}
 		for _, col := range []string{"marksweep", "npms"} {
@@ -710,6 +747,95 @@ func pauseBenchmarks() []PauseResult {
 				out = append(out, pauseRow(experiments.RunBenchPauses(prog, col, m.incremental, m.slice)))
 			}
 		}
+	}
+	return out
+}
+
+// serveModes is the collector-configuration axis of the server-simulation
+// grid: every collector in its stop-the-world/fixed-tenure default, plus
+// the knob each family actually supports — incremental marking for the
+// mark/sweep collectors, adaptive tenuring for the generational family.
+var serveModes = []struct {
+	collector   string
+	incremental bool
+	adaptive    bool
+}{
+	{"semispace", false, false},
+	{"marksweep", false, false},
+	{"marksweep", true, false},
+	{"npms", false, false},
+	{"npms", true, false},
+	{"generational", false, false},
+	{"generational", false, true},
+	{"multigen", false, false},
+	{"multigen", false, true},
+}
+
+// Server-simulation sizing: a per-shard heap big enough that collections
+// are occasional-but-heavy (the regime where pause policy decides the
+// tail) and a clock fast enough that the server is not saturated — at high
+// utilization the tail measures queue backlog, i.e. total GC work, and
+// slicing pauses cannot help; at moderate utilization it measures pause
+// quanta, which is the effect the grid exists to expose.
+const (
+	serveHorizon      = 60000
+	serveHeapWords    = 1 << 16
+	serveWordsPerTick = 256
+)
+
+// serveCell runs one grid cell. Everything but WallNS is deterministic
+// (seeded load, words-as-time clock), so the cell runs once, not best-of-3.
+func serveCell(collector string, shards, gcWorkers int, incremental, adaptive bool) ServeResult {
+	row := ServeResult{
+		Collector:   collector,
+		Shards:      shards,
+		GCWorkers:   gcWorkers,
+		Incremental: incremental,
+		Adaptive:    adaptive,
+	}
+	start := time.Now()
+	res, err := serve.Run(serve.Config{
+		Load:         serve.LoadConfig{Seed: 1, HorizonTicks: serveHorizon},
+		Collector:    collector,
+		Shards:       shards,
+		HeapWords:    serveHeapWords,
+		WordsPerTick: serveWordsPerTick,
+		GCWorkers:    gcWorkers,
+		Incremental:  incremental,
+		Adaptive:     adaptive,
+	})
+	row.WallNS = time.Since(start).Nanoseconds()
+	if err != nil {
+		row.Error = err.Error()
+		return row
+	}
+	a := res.Agg
+	row.Sessions = a.Sessions
+	row.Requests = a.Requests
+	row.ReqsPerKilotick = a.RequestsPerKilotick()
+	row.AllocWords = a.WordsAlloc
+	row.GCPauseWords = a.WordsPause
+	row.Collections = a.Collections
+	row.LatencyP50 = a.Latency.P50()
+	row.LatencyP99 = a.Latency.P99()
+	row.LatencyP999 = a.Latency.P999()
+	row.LatencyMax = a.Latency.MaxWords
+	row.FootprintWords = a.Footprint
+	row.MakespanTicks = a.Makespan
+	return row
+}
+
+// serveBenchmarks runs the server-simulation grid: every mode at shard
+// counts 1/4/16 with sequential per-shard collection, plus a parallel-
+// tracing column (gcworkers=4) at the middle shard count. The offered load
+// is global, so higher shard counts spread the same sessions thinner.
+func serveBenchmarks() []ServeResult {
+	var out []ServeResult
+	for _, m := range serveModes {
+		for _, shards := range []int{1, 4, 16} {
+			out = append(out, serveCell(m.collector, shards, 1, m.incremental, m.adaptive))
+		}
+		out = append(out, serveCell(m.collector, 4, 4, m.incremental, m.adaptive))
 	}
 	return out
 }
@@ -840,7 +966,7 @@ func run() *Report {
 	parallel := parallelBenchmarks([]int{0, 1, 2, 4, 8})
 	parallel = append(parallel, sweepBenchmarks([]int{0, 1, 2, 4, 8})...)
 	return &Report{
-		Schema:     "rdgc-bench/6",
+		Schema:     "rdgc-bench/7",
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -850,6 +976,7 @@ func run() *Report {
 		Tenuring:   tenureBenchmarks(),
 		Pauses:     pauseBenchmarks(),
 		Traces:     traceBenchmarks(),
+		Serve:      serveBenchmarks(),
 	}
 }
 
@@ -946,7 +1073,68 @@ func compare(pathA, pathB string) error {
 	if note := driftNote(sp); note != "" {
 		fmt.Println(note)
 	}
+	compareServe(a, b)
 	return nil
+}
+
+// serveTailTolerance is the relative worsening a serve tail quantile may
+// show before the comparison flags it. Serve latencies are deterministic
+// ticks, not wall time, so this headroom absorbs intentional small policy
+// shifts and log2 bucket boundaries — not machine noise, of which these
+// rows have none.
+const serveTailTolerance = 1.10
+
+// compareServe diffs the server-simulation sections cell by cell,
+// reporting the latency tail quantiles — the section's reason to exist —
+// alongside throughput, and flagging every cell whose p99 or p999 got
+// materially worse. Cells are matched on the full grid key, so a grid
+// reshape simply reports fewer shared cells.
+func compareServe(before, after *Report) {
+	if len(before.Serve) == 0 || len(after.Serve) == 0 {
+		return
+	}
+	prior := make(map[string]ServeResult, len(before.Serve))
+	for _, r := range before.Serve {
+		if r.Error == "" {
+			prior[r.key()] = r
+		}
+	}
+	fmt.Println("serve grid (latency in deterministic ticks; p99/p999 worsening flagged):")
+	var shared, regressions int
+	for _, b := range after.Serve {
+		if b.Error != "" {
+			fmt.Printf("  %-32s after-run error: %s\n", b.key(), b.Error)
+			continue
+		}
+		a, ok := prior[b.key()]
+		if !ok {
+			continue
+		}
+		shared++
+		flag := ""
+		if worse(a.LatencyP99, b.LatencyP99) || worse(a.LatencyP999, b.LatencyP999) {
+			regressions++
+			flag = "  <-- TAIL REGRESSION"
+		}
+		fmt.Printf("  %-32s p99 %5d -> %-5d  p999 %5d -> %-5d  max %5d -> %-5d  reqs/ktick %7.2f -> %-7.2f%s\n",
+			b.key(), a.LatencyP99, b.LatencyP99, a.LatencyP999, b.LatencyP999,
+			a.LatencyMax, b.LatencyMax, a.ReqsPerKilotick, b.ReqsPerKilotick, flag)
+	}
+	if regressions > 0 {
+		fmt.Printf("  %d of %d shared serve cells regressed on tail latency\n", regressions, shared)
+	} else {
+		fmt.Printf("  no tail-latency regressions across %d shared serve cells\n", shared)
+	}
+}
+
+// worse reports whether the after quantile exceeds the before quantile by
+// more than the tolerance. A zero before-value only regresses if the after
+// value is nonzero at all (no ratio exists).
+func worse(before, after uint64) bool {
+	if before == 0 {
+		return after > 0
+	}
+	return float64(after)/float64(before) > serveTailTolerance
 }
 
 // driftNote flags the pattern a real code change never produces: every
@@ -1012,6 +1200,7 @@ func main() {
 	cmp := flag.Bool("compare", false, "compare two BENCH_*.json files given as arguments instead of measuring")
 	smokeOnly := flag.Bool("smoke", false, "only check workers=1 parallel-engine parity with the sequential engines")
 	tenureOnly := flag.Bool("tenure", false, "only run the fixed-vs-adaptive tenuring grid and emit it as JSON")
+	serveOnly := flag.Bool("serve", false, "only run the server-simulation latency grid and emit it as JSON")
 	flag.Parse()
 
 	if *smokeOnly {
@@ -1024,6 +1213,14 @@ func main() {
 
 	if *tenureOnly {
 		if err := writeJSON(*out, tenureBenchmarks()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *serveOnly {
+		if err := writeJSON(*out, serveBenchmarks()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

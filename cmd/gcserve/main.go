@@ -1,0 +1,110 @@
+// Command gcserve simulates a sharded multi-tenant server over the
+// simulated heap: a deterministic open-loop load generator drives N
+// independent heap shards, GC pauses are charged to the requests that wait
+// for them, and the report's headline numbers are the request-latency
+// tails (p50/p99/p999/max in ticks of the words-per-tick service clock).
+//
+// Identical seed and configuration produce byte-identical stdout for every
+// -parallel value; progress lines go to stderr. See DESIGN.md "Server
+// simulation".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rdgc/internal/heap"
+	"rdgc/internal/serve"
+)
+
+func main() {
+	collector := flag.String("collector", "generational",
+		fmt.Sprintf("per-shard collector: %s", strings.Join(serve.CollectorNames(), ", ")))
+	shards := flag.Int("shards", 4, "independent heap shards")
+	heapWords := flag.Int("heap", 1<<17, "per-shard collector sizing in `words`")
+	wpt := flag.Int("wpt", 64, "service clock: words of work per tick")
+
+	seed := flag.Uint64("seed", 1, "load-generator seed")
+	arrival := flag.String("arrival", serve.ArrivalPoisson, "session arrival process: poisson or mmpp")
+	horizon := flag.Uint64("horizon", 100000, "load horizon in `ticks`")
+	sessionEvery := flag.Float64("session-every", 600, "mean ticks between session arrivals")
+	requestEvery := flag.Float64("request-every", 60, "mean ticks between a session's requests")
+	sessionMin := flag.Float64("session-min", 1500, "Pareto session-lifetime minimum, ticks")
+	sessionAlpha := flag.Float64("session-alpha", 1.6, "Pareto session-lifetime shape")
+	requestWords := flag.Int("request-words", 400, "mean handler allocation per request, `words`")
+	retain := flag.Int("retain", 128, "session state linked per request, `words` (negative disables)")
+	slots := flag.Int("slots", 12, "session ring-buffer slots")
+	profiles := flag.String("profiles", "", "comma-separated allocation profiles: registry program names or trace:PATH (default nboyer1,nucleic2,2dyninfer)")
+	burstRate := flag.Float64("burst-rate", 8, "mmpp: burst-state arrival-rate multiplier")
+	burstEvery := flag.Float64("burst-every", 20000, "mmpp: mean quiet dwell, ticks")
+	burstTicks := flag.Float64("burst-ticks", 2500, "mmpp: mean burst dwell, ticks")
+
+	parallel := flag.Int("parallel", 0, "worker goroutines for shard execution (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
+	gcworkers := flag.Int("gcworkers", -1, "parallel tracing workers per shard heap (0 = sequential engines; -1 = $RDGC_GC_WORKERS)")
+	gclab := flag.Bool("gclab", heap.GCLABFromEnv(), "per-worker allocation buffers during parallel evacuation (default $RDGC_GC_LAB)")
+	gcincr := flag.Bool("gcincr", heap.GCIncrFromEnv(), "incremental collection (mark slices + lazy sweep) on the collectors that support it (default $RDGC_GC_INCR)")
+	gcslice := flag.Int("gcslice", 0, "incremental mark slice budget in words (0 = $RDGC_GC_SLICE, or the built-in default)")
+	gctenure := flag.Int("gctenure", 0, "promotion threshold for the tenuring collectors, in collections survived (0 = $RDGC_GC_TENURE)")
+	gcadapt := flag.Bool("gcadapt", heap.GCAdaptFromEnv(), "adapt nursery trigger and promotion threshold online from survival statistics (default $RDGC_GC_ADAPT)")
+	progress := flag.Bool("progress", false, "report per-shard completion and wall-clock to stderr")
+	jsonOut := flag.Bool("json", false, "emit the full result as JSON instead of the table")
+	flag.Parse()
+
+	var profileNames []string
+	if *profiles != "" {
+		profileNames = strings.Split(*profiles, ",")
+	}
+	var prog io.Writer
+	if *progress {
+		prog = os.Stderr
+	}
+	cfg := serve.Config{
+		Load: serve.LoadConfig{
+			Seed:            *seed,
+			Arrival:         *arrival,
+			HorizonTicks:    *horizon,
+			SessionEvery:    *sessionEvery,
+			RequestEvery:    *requestEvery,
+			SessionMinTicks: *sessionMin,
+			SessionAlpha:    *sessionAlpha,
+			RequestWords:    *requestWords,
+			RetainWords:     *retain,
+			SessionSlots:    *slots,
+			Profiles:        profileNames,
+			BurstRate:       *burstRate,
+			BurstEvery:      *burstEvery,
+			BurstTicks:      *burstTicks,
+		},
+		Collector:    *collector,
+		Shards:       *shards,
+		HeapWords:    *heapWords,
+		WordsPerTick: *wpt,
+		GCWorkers:    heap.ResolveGCWorkers(*gcworkers),
+		GCLAB:        *gclab,
+		Incremental:  *gcincr,
+		SliceBudget:  heap.ResolveGCSlice(*gcslice),
+		Tenure:       heap.ResolveGCTenure(*gctenure),
+		Adaptive:     *gcadapt,
+		Parallel:     *parallel,
+		Progress:     prog,
+	}
+	res, err := serve.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gcserve:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, "gcserve:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	res.WriteReport(os.Stdout)
+}

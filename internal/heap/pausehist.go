@@ -85,3 +85,8 @@ func (p *PauseHist) P50() uint64 { return p.Quantile(0.50) }
 
 // P99 returns the 99th-percentile pause bound.
 func (p *PauseHist) P99() uint64 { return p.Quantile(0.99) }
+
+// P999 returns the 99.9th-percentile pause bound — the headline tail
+// quantile of the server simulation's request-latency histograms, which
+// reuse PauseHist for its comparability and zero-alloc record path.
+func (p *PauseHist) P999() uint64 { return p.Quantile(0.999) }

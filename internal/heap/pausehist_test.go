@@ -41,7 +41,7 @@ func TestPauseHistQuantileVsOracle(t *testing.T) {
 			h.Record(samples[i])
 		}
 		sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
-		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 1} {
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
 			v := oracleQuantile(samples, q)
 			got := h.Quantile(q)
 			if v == 0 {
@@ -77,6 +77,23 @@ func TestPauseHistCountersAndReset(t *testing.T) {
 	}
 	if h.Quantile(0.5) != 0 {
 		t.Fatal("quantile of empty histogram not 0")
+	}
+}
+
+// TestPauseHistHeadlineQuantiles pins the named quantile helpers to the
+// generic Quantile they wrap.
+func TestPauseHistHeadlineQuantiles(t *testing.T) {
+	var h PauseHist
+	for i := uint64(0); i < 3000; i++ {
+		h.Record(i)
+	}
+	if h.P50() != h.Quantile(0.50) || h.P99() != h.Quantile(0.99) || h.P999() != h.Quantile(0.999) {
+		t.Fatalf("headline quantiles diverge from Quantile: p50=%d p99=%d p999=%d",
+			h.P50(), h.P99(), h.P999())
+	}
+	if !(h.P50() <= h.P99() && h.P99() <= h.P999() && h.P999() <= h.MaxWords) {
+		t.Fatalf("quantiles not monotone: p50=%d p99=%d p999=%d max=%d",
+			h.P50(), h.P99(), h.P999(), h.MaxWords)
 	}
 }
 

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rdgc/internal/bench"
+	"rdgc/internal/heap"
+	"rdgc/internal/trace"
+)
+
+func TestResolveProfilesRegistry(t *testing.T) {
+	ps, err := ResolveProfiles([]string{"nboyer1", "nucleic2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		if p.Objects == 0 || len(p.Classes) == 0 {
+			t.Fatalf("profile %d degenerate: %+v", i, p.AllocProfile)
+		}
+	}
+	if ps[0].Source != "nboyer1" || ps[1].Source != "nucleic2" {
+		t.Fatalf("sources wrong: %q, %q", ps[0].Source, ps[1].Source)
+	}
+	if _, err := ResolveProfiles([]string{"no-such-workload"}); err == nil {
+		t.Fatal("unknown profile name accepted")
+	}
+}
+
+// TestPickDistribution checks weighted sampling: pick frequencies converge
+// to the class counts, and every pick is a class of the profile.
+func TestPickDistribution(t *testing.T) {
+	prof, err := newProfile(bench.BuildProfile("synthetic", map[bench.AllocClass]uint64{
+		{Type: heap.TPair, PayloadWords: 2}:    1,
+		{Type: heap.TVector, PayloadWords: 10}: 3,
+		{Type: heap.TFlonum, PayloadWords: 1}:  6,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	r := newRNG(mix(1, 0x91c4))
+	got := make(map[bench.AllocClass]float64)
+	for i := 0; i < n; i++ {
+		cls := prof.pick(r)
+		cls.Count = 0 // compare by identity, not by the profile's count
+		got[cls]++
+	}
+	if len(got) != len(prof.Classes) {
+		t.Fatalf("picked %d distinct classes, profile has %d", len(got), len(prof.Classes))
+	}
+	for _, cls := range prof.Classes {
+		want := float64(cls.Count) / float64(prof.Objects)
+		key := cls
+		key.Count = 0
+		if frac := got[key] / n; math.Abs(frac-want) > 0.01 {
+			t.Fatalf("class %+v picked %.3f of draws, want %.3f", cls, frac, want)
+		}
+	}
+}
+
+// TestProfileFromTrace builds a profile from a synthesized recorded trace
+// and runs the server on it, closing the trace->profile->load loop.
+func TestProfileFromTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "synthetic.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := trace.NewWriter(f, trace.Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var words, objects uint64
+	for i := 0; i < 40; i++ {
+		ev := trace.Event{Kind: trace.KindAlloc, Type: heap.TPair, Size: 2}
+		if i%4 == 0 {
+			ev = trace.Event{Kind: trace.KindAlloc, Type: heap.TVector, Size: 6}
+		}
+		if err := w.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+		words += uint64(1 + ev.Size)
+		objects++
+	}
+	if err := w.Close(trace.Trailer{WordsAllocated: words, ObjectsAllocated: objects, Events: objects}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	prof, err := ProfileFromTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Objects != 40 || len(prof.Classes) != 2 {
+		t.Fatalf("census wrong: %+v", prof)
+	}
+	if !strings.HasPrefix(prof.Source, TracePrefix) {
+		t.Fatalf("trace profile source %q lacks the %q prefix", prof.Source, TracePrefix)
+	}
+
+	cfg := smallConfig()
+	cfg.Load.Profiles = []string{TracePrefix + path}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.Requests == 0 || res.Agg.WordsAlloc == 0 {
+		t.Fatalf("trace-profiled run did no work: %+v", res.Agg)
+	}
+}

@@ -1,0 +1,78 @@
+// Package serve simulates a sharded multi-tenant server over the simulated
+// heap: N independent heap shards behind a deterministic open-loop load
+// generator, with GC pauses charged to the requests that wait for them and
+// per-request latency tails as the headline metric. See DESIGN.md "Server
+// simulation".
+package serve
+
+import "math"
+
+// rng is a splitmix64 generator. The schedule and every per-request draw
+// must be byte-stable across platforms, Go versions, and shard layouts, so
+// the package carries its own trivially-specified PRNG instead of leaning
+// on math/rand; splitmix64 also gives cheap independent streams (one per
+// session, one per request) by finalizing a derived seed.
+type rng struct{ state uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{state: seed} }
+
+// next advances the splitmix64 state and returns the next 64-bit output.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// mix finalizes a composite seed: the derived streams (per session, per
+// request) are seeded with mix of the run seed and their identifiers, so a
+// session's draws do not depend on how many other sessions preceded it —
+// the property the shard-count-invariance contract rests on.
+func mix(parts ...uint64) uint64 {
+	z := uint64(0x243f6a8885a308d3) // pi, for want of nothing up the sleeve
+	for _, p := range parts {
+		z += p
+		z += 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+	}
+	return z
+}
+
+// Float64 returns a uniform draw in [0, 1) with 53 random bits.
+func (r *rng) Float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform draw in [0, n).
+func (r *rng) Intn(n int) int {
+	if n <= 0 {
+		panic("serve: Intn bound must be positive")
+	}
+	return int(r.next() % uint64(n))
+}
+
+// Uint64n returns a uniform draw in [0, n).
+func (r *rng) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("serve: Uint64n bound must be positive")
+	}
+	return r.next() % n
+}
+
+// Exp returns an exponential draw with the given mean (inter-arrival gaps,
+// within-session request gaps, dwell times).
+func (r *rng) Exp(mean float64) float64 {
+	// 1-u is in (0, 1], so the log never sees zero.
+	return -mean * math.Log(1-r.Float64())
+}
+
+// Pareto returns a Pareto(xm, alpha) draw: P(X > x) = (xm/x)^alpha for
+// x >= xm. Session lifetimes use it for the heavy tail the multi-tenant
+// story needs — most sessions are brief, a few span a large fraction of
+// the run and keep live state across many collections.
+func (r *rng) Pareto(xm, alpha float64) float64 {
+	return xm * math.Pow(1-r.Float64(), -1/alpha)
+}

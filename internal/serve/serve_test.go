@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// smallConfig is a grid cell small enough for unit tests but busy enough
+// to exercise collections and session retention.
+func smallConfig() Config {
+	return Config{
+		Load:      LoadConfig{Seed: 1, HorizonTicks: 12000},
+		HeapWords: 1 << 13, // small enough that every collector of the grid collects
+
+		Shards: 3,
+	}
+}
+
+// TestRunDeterministicAcrossParallel is the conformance pin for the
+// subsystem's headline contract: identical seed and config produce an
+// identical Result — and byte-identical report — whether the shards run on
+// one runner worker or many.
+func TestRunDeterministicAcrossParallel(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Parallel = 1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallel = 4
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Parallel differs by construction; everything measured must not.
+	a.Cfg.Parallel, b.Cfg.Parallel = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("results diverge across runner worker counts")
+	}
+	var ra, rb bytes.Buffer
+	a.WriteReport(&ra)
+	b.WriteReport(&rb)
+	if !bytes.Equal(ra.Bytes(), rb.Bytes()) {
+		t.Fatalf("reports diverge across runner worker counts:\n%s\nvs\n%s", ra.String(), rb.String())
+	}
+
+	// ShardResult and Aggregate are comparable by design, so the per-shard
+	// pin can be ==, the strongest equality Go offers.
+	for i := range a.Shards {
+		if a.Shards[i] != b.Shards[i] {
+			t.Fatalf("shard %d diverges:\n%+v\nvs\n%+v", i, a.Shards[i], b.Shards[i])
+		}
+	}
+	if a.Agg != b.Agg {
+		t.Fatal("aggregates diverge")
+	}
+}
+
+// TestRunAllCollectors smoke-tests every collector of the grid under the
+// server load and checks the measurement invariants that must hold
+// everywhere: every request is served and measured exactly once, the heaps
+// actually collect, and pause words reach the latency accounting.
+func TestRunAllCollectors(t *testing.T) {
+	sched, err := Generate(LoadConfig{Seed: 1, HorizonTicks: 12000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantReqs := uint64(len(sched.Requests))
+	for _, name := range CollectorNames() {
+		cfg := smallConfig()
+		cfg.Collector = name
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Agg.Requests != wantReqs {
+			t.Fatalf("%s: served %d requests, schedule has %d", name, res.Agg.Requests, wantReqs)
+		}
+		if res.Agg.Latency.Count != wantReqs {
+			t.Fatalf("%s: %d latency samples for %d requests", name, res.Agg.Latency.Count, wantReqs)
+		}
+		if res.Agg.Collections == 0 || res.Agg.WordsPause == 0 {
+			t.Fatalf("%s: load too light to measure GC (collections=%d, pause=%d)",
+				name, res.Agg.Collections, res.Agg.WordsPause)
+		}
+		if res.Agg.Makespan < res.Cfg.Load.HorizonTicks {
+			t.Fatalf("%s: makespan %d before the load horizon %d",
+				name, res.Agg.Makespan, res.Cfg.Load.HorizonTicks)
+		}
+		if res.Agg.Footprint == 0 {
+			t.Fatalf("%s: zero footprint", name)
+		}
+	}
+}
+
+// TestRunShardCountsPartitionWork pins that resharding moves sessions, not
+// work: the same schedule served by 1 and by 5 shards answers the same
+// requests with the same total allocation (per-shard heaps collect on
+// their own cadence, so GC-side numbers legitimately differ).
+func TestRunShardCountsPartitionWork(t *testing.T) {
+	one := smallConfig()
+	one.Shards = 1
+	five := smallConfig()
+	five.Shards = 5
+	a, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(five)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Agg.Requests != b.Agg.Requests || a.Agg.Sessions != b.Agg.Sessions {
+		t.Fatalf("request/session totals moved with the shard count: %+v vs %+v", a.Agg, b.Agg)
+	}
+	if a.Agg.WordsAlloc != b.Agg.WordsAlloc {
+		t.Fatalf("handler allocation moved with the shard count: %d vs %d",
+			a.Agg.WordsAlloc, b.Agg.WordsAlloc)
+	}
+}
+
+// TestRunIncrementalModes runs the incremental-capable and tenuring
+// collectors with their modes on, checking the knobs engage (incremental
+// marking multiplies pause count; the adaptive controller reports
+// adaptations) rather than merely not crashing.
+func TestRunIncrementalModes(t *testing.T) {
+	stw := smallConfig()
+	stw.Collector = "marksweep"
+	base, err := Run(stw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr := stw
+	incr.Incremental = true
+	inc, err := Run(incr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Agg.GCPauses.Count <= base.Agg.GCPauses.Count {
+		t.Fatalf("incremental mode did not slice pauses: %d vs %d stop-the-world",
+			inc.Agg.GCPauses.Count, base.Agg.GCPauses.Count)
+	}
+
+	ad := smallConfig()
+	ad.Collector = "generational"
+	ad.Tenure = 4
+	ad.Adaptive = true
+	res, err := Run(ad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptations int
+	for _, s := range res.Shards {
+		adaptations += s.GC.PolicyAdaptations
+	}
+	if adaptations == 0 {
+		t.Fatal("adaptive mode reported no policy adaptations")
+	}
+}
+
+// TestRunUnknownCollector pins the error path before any shard runs.
+func TestRunUnknownCollector(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Collector = "refcount"
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("unknown collector accepted")
+	}
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"sort"
+
+	"rdgc/internal/heap"
+)
+
+// AllocMixClass is one (object type, payload size) allocation class of a
+// trace: the exact-size companion to Summary's log2-bucketed SizeHist,
+// exported so recorded traces can seed per-request allocation profiles
+// (internal/serve samples these to re-enact a recorded workload's
+// allocation behavior request by request).
+type AllocMixClass struct {
+	Type         heap.Type
+	PayloadWords int
+	Count        uint64
+}
+
+// ReadAllocMix drains r and returns the exact allocation-class census of
+// the trace, sorted by (Type, PayloadWords). The whole stream is read and
+// CRC-verified (trailer included), so a nil error also vouches for the
+// trace's integrity.
+func ReadAllocMix(r *Reader) ([]AllocMixClass, error) {
+	counts := make(map[AllocMixClass]uint64)
+	var ev Event
+	for {
+		switch err := r.Next(&ev); {
+		case err == nil:
+			if ev.Kind == KindAlloc {
+				counts[AllocMixClass{Type: ev.Type, PayloadWords: ev.Size}]++
+			}
+			continue
+		case errors.Is(err, io.EOF):
+		default:
+			return nil, err
+		}
+		break
+	}
+	out := make([]AllocMixClass, 0, len(counts))
+	for cls, n := range counts {
+		cls.Count = n
+		out = append(out, cls)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Type != out[j].Type {
+			return out[i].Type < out[j].Type
+		}
+		return out[i].PayloadWords < out[j].PayloadWords
+	})
+	return out, nil
+}

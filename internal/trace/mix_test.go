@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"rdgc/internal/heap"
+)
+
+// TestReadAllocMix pins the census: a synthetic trace with a known
+// allocation mix reads back exactly, sorted by (Type, PayloadWords), with
+// non-alloc events ignored.
+func TestReadAllocMix(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var words, objects uint64
+	appendAlloc := func(typ heap.Type, size int) {
+		if err := w.Append(&Event{Kind: KindAlloc, Type: typ, Size: size}); err != nil {
+			t.Fatal(err)
+		}
+		words += uint64(1 + size)
+		objects++
+	}
+	appendAlloc(heap.TVector, 10)
+	appendAlloc(heap.TPair, 2)
+	appendAlloc(heap.TPair, 2)
+	appendAlloc(heap.TVector, 3)
+	appendAlloc(heap.TPair, 2)
+	// Non-alloc events must not perturb the census.
+	if err := w.Append(&Event{Kind: KindPush, Val: Imm(heap.NullWord)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(&Event{Kind: KindCollect}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(Trailer{WordsAllocated: words, ObjectsAllocated: objects, Events: w.Events()}); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := ReadAllocMix(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []AllocMixClass{
+		{Type: heap.TPair, PayloadWords: 2, Count: 3},
+		{Type: heap.TVector, PayloadWords: 3, Count: 1},
+		{Type: heap.TVector, PayloadWords: 10, Count: 1},
+	}
+	if len(mix) != len(want) {
+		t.Fatalf("got %d classes, want %d: %+v", len(mix), len(want), mix)
+	}
+	for i := range want {
+		if mix[i] != want[i] {
+			t.Fatalf("class %d: got %+v, want %+v", i, mix[i], want[i])
+		}
+	}
+}
+
+// TestReadAllocMixTruncated pins that a trace cut off mid-stream surfaces
+// an error instead of a silently partial census.
+func TestReadAllocMixTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if err := w.Append(&Event{Kind: KindAlloc, Type: heap.TPair, Size: 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(Trailer{WordsAllocated: 6000, ObjectsAllocated: 2000, Events: 2000}); err != nil {
+		t.Fatal(err)
+	}
+	cut := bytes.NewReader(buf.Bytes()[:buf.Len()-7])
+	r, err := NewReader(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadAllocMix(r); err == nil {
+		t.Fatal("truncated trace produced a census without error")
+	}
+}
