@@ -2,12 +2,12 @@
 # conformance pass that backs the parallel experiment runner.
 
 GO ?= go
-BENCH_OUT ?= BENCH_PR9.json
-BENCH_BASE ?= BENCH_PR8.json
+BENCH_OUT ?= BENCH_PR10.json
+BENCH_BASE ?= BENCH_PR9.json
 BENCH_NOW ?= /tmp/rdgc-bench-now.json
 FUZZTIME ?= 30s
 
-.PHONY: all build vet test race tier1 ci bench bench-compare fuzz traces serve
+.PHONY: all build vet test race tier1 ci bench bench-compare fuzz traces synth serve
 
 all: ci
 
@@ -34,6 +34,14 @@ ci:
 traces:
 	RDGC_WRITE_TRACES=1 $(GO) test ./internal/trace -run TestTraceCorpus -v
 
+# synth regenerates the synthesized-corpus golden stats (the 1000-session
+# amplified corpus TestSynthGolden1kSessions checks in as
+# internal/trace/testdata/synth-golden.json). The golden file is the drift
+# guard: a changed event count, trailer, or compressed size fails the test
+# until deliberately regenerated here.
+synth:
+	RDGC_WRITE_TRACES=1 $(GO) test ./internal/trace -run TestSynthGolden1kSessions -v
+
 # serve is the server-simulation smoke: a small sharded gcserve run on the
 # default load, printing the per-shard latency table. All time is in
 # allocated words (see DESIGN.md "Server simulation").
@@ -43,8 +51,10 @@ serve:
 # bench runs the Go microbenchmarks, then measures the tracing engines,
 # the full collector grid, the stop-the-world vs incremental pause
 # distributions, and the sharded server-simulation latency grid, and writes
-# the machine-readable report (the file checked in as BENCH_PR9.json),
-# after the workers=1 parity smoke.
+# the machine-readable report (the file checked in as BENCH_PR10.json),
+# after the workers=1 parity smoke. The rdgc-bench/8 schema adds the
+# replay-throughput section: synth-op cost, raw vs block-compressed replay,
+# and the sharded replay driver at 1/4/16 shards.
 bench:
 	$(GO) run ./cmd/benchreport -smoke
 	$(GO) test -bench=. -benchmem ./...

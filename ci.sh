@@ -82,6 +82,31 @@ go run ./cmd/gctrace record -quick -o "$trace_tmp/lattice.trace" lattice
 go run ./cmd/gctrace replay -verify "$trace_tmp/lattice.trace"
 go run ./cmd/gctrace stat "$trace_tmp/lattice.trace" > /dev/null
 
+# Synth smoke: amplify the recording into an interleaved multi-session
+# corpus, raw and block-compressed, and drive the whole synth -> compress ->
+# sharded-replay -> verify pipeline through the CLI. The aggregate replay
+# stats must be byte-identical between the raw and compressed corpora
+# (same events, different wire), run to run, and across -parallel worker
+# counts (the sharded driver's aggregation order is spec order, not
+# completion order). tail -n +2 drops the path-bearing header line.
+go run ./cmd/gctrace synth -op amplify -n 8 -seed 3 -o "$trace_tmp/mix.trace" "$trace_tmp/lattice.trace"
+go run ./cmd/gctrace synth -op amplify -n 8 -seed 3 -compress -o "$trace_tmp/mixz.trace" "$trace_tmp/lattice.trace"
+mix_bytes=$(wc -c < "$trace_tmp/mix.trace")
+mixz_bytes=$(wc -c < "$trace_tmp/mixz.trace")
+if [ "$mixz_bytes" -ge "$mix_bytes" ]; then
+    echo "ci: compressed corpus ($mixz_bytes bytes) not smaller than raw ($mix_bytes bytes)" >&2
+    exit 1
+fi
+go run ./cmd/gctrace stat "$trace_tmp/mix.trace" > /dev/null
+go run ./cmd/gctrace replay -verify "$trace_tmp/mix.trace"  | tail -n +2 > "$trace_tmp/r-raw.txt"
+go run ./cmd/gctrace replay -verify "$trace_tmp/mixz.trace" | tail -n +2 > "$trace_tmp/r-z.txt"
+cmp "$trace_tmp/r-raw.txt" "$trace_tmp/r-z.txt"
+go run ./cmd/gctrace replay -verify -shards 4 "$trace_tmp/mix.trace"             | tail -n +2 > "$trace_tmp/s-a.txt"
+go run ./cmd/gctrace replay -verify -shards 4 "$trace_tmp/mix.trace"             | tail -n +2 > "$trace_tmp/s-b.txt"
+go run ./cmd/gctrace replay -verify -shards 4 -parallel 1 "$trace_tmp/mix.trace" | tail -n +2 > "$trace_tmp/s-c.txt"
+cmp "$trace_tmp/s-a.txt" "$trace_tmp/s-b.txt"
+cmp "$trace_tmp/s-a.txt" "$trace_tmp/s-c.txt"
+
 # Fuzz smoke: a bounded mutation run of the cross-collector byte-program
 # harness (the seed corpus replays first), under the race detector with the
 # parallel tracing engines at four workers so every fuzz input also drives
@@ -97,3 +122,9 @@ RDGC_GC_SLICE=64 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s 
 # age-routing evacuation and the age oracle see every fuzz input at a
 # mid-grid threshold (unpinned runs derive the threshold from the program).
 RDGC_GC_TENURE=6 go test -race -run '^$' -fuzz '^FuzzCollectors$' -fuzztime 10s ./internal/gc/gcfuzz
+
+# Wire-format fuzz smoke: arbitrary bytes against the trace reader, seeded
+# with both wire versions, compressed blocks, and the checked-in synthesized
+# corpus. The reader must decode or fail with a package sentinel — never
+# panic — no matter what the block decompressor is fed.
+go test -run '^$' -fuzz '^FuzzTraceReader$' -fuzztime 10s ./internal/trace

@@ -21,6 +21,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"testing"
 	"time"
 
@@ -36,6 +37,7 @@ import (
 	"rdgc/internal/gc/npms"
 	"rdgc/internal/gc/semispace"
 	"rdgc/internal/heap"
+	"rdgc/internal/runner"
 	"rdgc/internal/serve"
 	"rdgc/internal/trace"
 )
@@ -95,6 +97,30 @@ type TraceResult struct {
 	// VsBaseline is this row's wall clock over the record-off baseline's
 	// (1.0 = free; only meaningful for the record-on row).
 	VsBaseline float64 `json:"vs_baseline,omitempty"`
+}
+
+// ReplayBenchResult is one replay-throughput row over the synthesized
+// corpus: one reduced decay session recorded, amplified into an
+// interleaved multi-session corpus (raw and block-compressed), then
+// replayed whole, from the compressed encoding, and sharded by session.
+// ReadAmplification is decoded payload bytes over bytes read from the
+// wire — how much event stream each stored byte yields, so >1 means a
+// compressed corpus feeds the replayer more than it costs to read.
+type ReplayBenchResult struct {
+	Name              string  `json:"name"`
+	Shards            int     `json:"shards,omitempty"`
+	WallNS            int64   `json:"wall_ns"`
+	Events            uint64  `json:"events"`
+	EventsPerSec      float64 `json:"events_per_sec"`
+	TraceBytes        uint64  `json:"trace_bytes,omitempty"`
+	StoredBytes       uint64  `json:"stored_bytes,omitempty"`
+	RawBytes          uint64  `json:"raw_bytes,omitempty"`
+	ReadAmplification float64 `json:"read_amplification,omitempty"`
+	CompressionRatio  float64 `json:"compression_ratio,omitempty"`
+	// VsRaw is the raw-corpus whole-replay events/sec over this row's:
+	// 1.0 is parity, and the compressed row's acceptance bar is <= 1.5
+	// (decompression may cost at most half again the raw decode rate).
+	VsRaw float64 `json:"vs_raw,omitempty"`
 }
 
 // PauseResult is one pause-distribution row: a workload run under an
@@ -193,17 +219,18 @@ func boolDigit(b bool) string {
 // coordination overhead, not scaling), and a GOMAXPROCS below NumCPU says
 // the run was deliberately constrained.
 type Report struct {
-	Schema     string            `json:"schema"`
-	GoVersion  string            `json:"go_version"`
-	GoMaxProcs int               `json:"gomaxprocs"`
-	NumCPU     int               `json:"num_cpu"`
-	Engines    []EngineResult    `json:"engines"`
-	Parallel   []ParallelResult  `json:"parallel,omitempty"`
-	Collectors []CollectorResult `json:"collectors"`
-	Tenuring   []TenureResult    `json:"tenuring,omitempty"`
-	Pauses     []PauseResult     `json:"pauses,omitempty"`
-	Traces     []TraceResult     `json:"traces,omitempty"`
-	Serve      []ServeResult     `json:"serve,omitempty"`
+	Schema     string              `json:"schema"`
+	GoVersion  string              `json:"go_version"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	NumCPU     int                 `json:"num_cpu"`
+	Engines    []EngineResult      `json:"engines"`
+	Parallel   []ParallelResult    `json:"parallel,omitempty"`
+	Collectors []CollectorResult   `json:"collectors"`
+	Tenuring   []TenureResult      `json:"tenuring,omitempty"`
+	Pauses     []PauseResult       `json:"pauses,omitempty"`
+	Traces     []TraceResult       `json:"traces,omitempty"`
+	Replay     []ReplayBenchResult `json:"replay_throughput,omitempty"`
+	Serve      []ServeResult       `json:"serve,omitempty"`
 }
 
 // Comparison is the checked-in before/after shape.
@@ -958,6 +985,189 @@ func traceBenchmarks() []TraceResult {
 	return []TraceResult{off, on, rp}
 }
 
+// The synthesized replay corpus: one decay session at reduced steps,
+// amplified into corpusSessions interleaved sessions. Small enough to
+// synthesize in-memory per report, large enough that replay throughput
+// is decode-bound rather than setup-bound.
+const (
+	corpusSteps    = 20000
+	corpusSessions = 64
+)
+
+// synthCorpus records the base session and amplifies it raw and
+// compressed, timing the synthesis ops (best of three). Returns both
+// corpora, the merged heap size the replay rows should use, and the two
+// synth-op cost rows.
+func synthCorpus() (raw, comp []byte, total int, rows []ReplayBenchResult) {
+	cfg := experiments.DecayConfig{HalfLife: 768, L: 3.5, G: 0.25, K: 16, Steps: corpusSteps}
+	sessionWords := cfg.HeapWords()
+	total = sessionWords * corpusSessions
+
+	var base bytes.Buffer
+	{
+		h := heap.New()
+		semispace.New(h, sessionWords)
+		tw, err := trace.NewWriter(&base, trace.Header{Meta: []trace.MetaEntry{
+			{Key: "workload", Value: "decay-768"},
+			{Key: "heap_words", Value: strconv.Itoa(sessionWords)},
+		}})
+		if err != nil {
+			panic(err)
+		}
+		rec, err := trace.NewRecorder(h, tw)
+		if err != nil {
+			panic(err)
+		}
+		w := decay.NewWorkload(h, 768, 1)
+		w.Warmup(10)
+		w.Run(corpusSteps)
+		if err := rec.Finish(); err != nil {
+			panic(err)
+		}
+	}
+
+	amplify := func(name string, compress bool) ([]byte, ReplayBenchResult) {
+		var out []byte
+		var row ReplayBenchResult
+		for round := 0; round < 3; round++ {
+			var buf bytes.Buffer
+			opt := trace.SynthOptions{Seed: 7, Compress: compress}
+			start := time.Now()
+			tr, err := trace.Amplify(&buf, base.Bytes(), corpusSessions, opt)
+			wall := time.Since(start)
+			if err != nil {
+				panic(err)
+			}
+			if round == 0 || wall.Nanoseconds() < row.WallNS {
+				out = buf.Bytes()
+				row = ReplayBenchResult{
+					Name:         name,
+					WallNS:       wall.Nanoseconds(),
+					Events:       tr.Events,
+					EventsPerSec: float64(tr.Events) / wall.Seconds(),
+					TraceBytes:   uint64(buf.Len()),
+				}
+			}
+		}
+		return out, row
+	}
+	var rawRow, compRow ReplayBenchResult
+	raw, rawRow = amplify("synth-amplify", false)
+	comp, compRow = amplify("synth-amplify-compressed", true)
+	compRow.CompressionRatio = float64(len(raw)) / float64(len(comp))
+	return raw, comp, total, []ReplayBenchResult{rawRow, compRow}
+}
+
+// replayThroughputBenchmarks is the rdgc-bench/8 section: synth-op cost,
+// whole-corpus replay raw vs compressed, and the sharded driver at 1, 4,
+// and 16 shards, all best of three.
+func replayThroughputBenchmarks() []ReplayBenchResult {
+	raw, comp, total, rows := synthCorpus()
+
+	replayRow := func(name string, data []byte) ReplayBenchResult {
+		var row ReplayBenchResult
+		for round := 0; round < 3; round++ {
+			rd, err := trace.NewReader(bytes.NewReader(data))
+			if err != nil {
+				panic(err)
+			}
+			h := heap.New()
+			c := semispace.New(h, total)
+			start := time.Now()
+			res, err := trace.Replay(rd, h, c, trace.ReplayOptions{})
+			wall := time.Since(start)
+			if err != nil {
+				panic(err)
+			}
+			if round == 0 || wall.Nanoseconds() < row.WallNS {
+				stored, rawBytes := rd.StoredBytes(), rd.RawBytes()
+				row = ReplayBenchResult{
+					Name:              name,
+					WallNS:            wall.Nanoseconds(),
+					Events:            res.Events,
+					EventsPerSec:      float64(res.Events) / wall.Seconds(),
+					TraceBytes:        uint64(len(data)),
+					StoredBytes:       stored,
+					RawBytes:          rawBytes,
+					ReadAmplification: float64(rawBytes) / float64(stored),
+				}
+			}
+		}
+		return row
+	}
+
+	rawReplay := replayRow("replay-raw", raw)
+	compReplay := replayRow("replay-compressed", comp)
+	compReplay.CompressionRatio = float64(len(raw)) / float64(len(comp))
+	compReplay.VsRaw = rawReplay.EventsPerSec / compReplay.EventsPerSec
+	rows = append(rows, rawReplay, compReplay)
+
+	for _, n := range []int{1, 4, 16} {
+		row := shardedReplayRow(raw, total, n)
+		row.VsRaw = rawReplay.EventsPerSec / row.EventsPerSec
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// shardedReplayRow splits the corpus into n per-session shards once,
+// then times replaying all shards on the worker pool (best of three).
+// Only the replay is on the clock — the demux is synthesis-side work
+// already priced by the synth-op rows.
+func shardedReplayRow(corpus []byte, total, n int) ReplayBenchResult {
+	rd, err := trace.NewReader(bytes.NewReader(corpus))
+	if err != nil {
+		panic(err)
+	}
+	shards, err := trace.Shard(rd, n, trace.SynthOptions{})
+	if err != nil {
+		panic(err)
+	}
+	shardWords := total / len(shards)
+	specs := make([]runner.Spec[trace.ReplayResult], len(shards))
+	for i, data := range shards {
+		data := data
+		specs[i] = runner.Spec[trace.ReplayResult]{
+			Name: fmt.Sprintf("shard%d", i),
+			Run: func() (trace.ReplayResult, error) {
+				srd, err := trace.NewReader(bytes.NewReader(data))
+				if err != nil {
+					return trace.ReplayResult{}, err
+				}
+				h := heap.New()
+				c := semispace.New(h, shardWords)
+				return trace.Replay(srd, h, c, trace.ReplayOptions{})
+			},
+			Words: func(v trace.ReplayResult) uint64 { return v.Stats.WordsAllocated },
+		}
+	}
+
+	var row ReplayBenchResult
+	for round := 0; round < 3; round++ {
+		start := time.Now()
+		results := runner.Run(specs, runner.Options{})
+		wall := time.Since(start)
+		var events uint64
+		for _, r := range results {
+			if r.Err != nil {
+				panic(r.Err)
+			}
+			events += r.Value.Events
+		}
+		if round == 0 || wall.Nanoseconds() < row.WallNS {
+			row = ReplayBenchResult{
+				Name:         "replay-sharded",
+				Shards:       n,
+				WallNS:       wall.Nanoseconds(),
+				Events:       events,
+				EventsPerSec: float64(events) / wall.Seconds(),
+				TraceBytes:   uint64(len(corpus)),
+			}
+		}
+	}
+	return row
+}
+
 func run() *Report {
 	collectors := collectorGrid(0)
 	for _, w := range []int{1, 2, 4, 8} {
@@ -966,7 +1176,7 @@ func run() *Report {
 	parallel := parallelBenchmarks([]int{0, 1, 2, 4, 8})
 	parallel = append(parallel, sweepBenchmarks([]int{0, 1, 2, 4, 8})...)
 	return &Report{
-		Schema:     "rdgc-bench/7",
+		Schema:     "rdgc-bench/8",
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
@@ -976,6 +1186,7 @@ func run() *Report {
 		Tenuring:   tenureBenchmarks(),
 		Pauses:     pauseBenchmarks(),
 		Traces:     traceBenchmarks(),
+		Replay:     replayThroughputBenchmarks(),
 		Serve:      serveBenchmarks(),
 	}
 }
@@ -1026,6 +1237,17 @@ func speedups(before, after *Report) map[string]float64 {
 		for _, a := range after.Traces {
 			if a.Name == b.Name && a.WallNS > 0 && b.WallNS > 0 {
 				out["trace/"+a.Name] = float64(b.WallNS) / float64(a.WallNS)
+			}
+		}
+	}
+	for _, b := range before.Replay {
+		for _, a := range after.Replay {
+			if a.Name == b.Name && a.Shards == b.Shards && a.WallNS > 0 && b.WallNS > 0 {
+				key := "replay/" + a.Name
+				if a.Shards > 0 {
+					key = fmt.Sprintf("replay/%s/%d", a.Name, a.Shards)
+				}
+				out[key] = float64(b.WallNS) / float64(a.WallNS)
 			}
 		}
 	}

@@ -4,13 +4,14 @@
 // bytes, and it reruns the program against every collector, printing each
 // collector's mutator statistics and the first property violation.
 //
-//	gcfuzz [-census=auto|on|off] [-collector NAME] [-gcincr] [-minimize] [-emit-trace FILE] FILE...
+//	gcfuzz [-census=auto|on|off] [-collector NAME] [-gcincr] [-minimize] [-emit-trace FILE] [-compress] FILE...
 //
 // With -minimize, a failing program is shrunk to a minimal reproducer
 // (printed as a go-fuzz corpus file, ready to check in as a regression
 // seed). With -emit-trace, the byte program is additionally exported as an
 // allocation-event trace (see cmd/gctrace), so a fuzzer-found workload can
-// be replayed, profiled, and checked in like any recorded benchmark.
+// be replayed, profiled, and checked in like any recorded benchmark;
+// -compress writes it with per-block compression.
 package main
 
 import (
@@ -32,6 +33,7 @@ func main() {
 	gcadapt := flag.Bool("gcadapt", heap.GCAdaptFromEnv(), "adapt nursery trigger and promotion threshold online from survival statistics (default $RDGC_GC_ADAPT)")
 	minimize := flag.Bool("minimize", false, "shrink a failing program to a minimal reproducer")
 	emitTrace := flag.String("emit-trace", "", "export the (single) program as an allocation-event trace to `file`")
+	compress := flag.Bool("compress", false, "write the -emit-trace output with per-block compression")
 	flag.Parse()
 	heap.SetDefaultGCTenure(heap.ResolveGCTenure(*gctenure))
 	heap.SetDefaultGCAdaptive(*gcadapt)
@@ -46,7 +48,7 @@ func main() {
 
 	exit := 0
 	for _, path := range flag.Args() {
-		if err := replay(path, *censusMode, *collector, *gcincr, *minimize, *emitTrace); err != nil {
+		if err := replay(path, *censusMode, *collector, *gcincr, *minimize, *emitTrace, *compress); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			exit = 1
 		}
@@ -58,7 +60,7 @@ func main() {
 // collector is immaterial to the trace bytes; the fixed-size fuzz grid's
 // first collector drives the run. The trace carries no heap_words metadata,
 // which tells gctrace replay to use the same fuzz-sized grid.
-func emit(path string, prog []byte, census bool) error {
+func emit(path string, prog []byte, census, compress bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -67,11 +69,15 @@ func emit(path string, prog []byte, census bool) error {
 		{Key: "workload", Value: "gcfuzz:" + filepath.Base(path)},
 		{Key: "sizing", Value: "gcfuzz"},
 	}
+	var wopts []trace.WriterOption
+	if compress {
+		wopts = append(wopts, trace.WithCompression())
+	}
 	var rec *trace.Recorder
 	var wrapErr error
 	_, runErr := gcfuzz.RunWith(prog, gcfuzz.Collectors()[0].New, census,
 		func(h *heap.Heap, c heap.Collector) heap.Collector {
-			w, err := trace.NewWriter(f, trace.Header{Census: census, Meta: meta})
+			w, err := trace.NewWriter(f, trace.Header{Census: census, Meta: meta}, wopts...)
 			if err != nil {
 				wrapErr = err
 				return c
@@ -101,7 +107,7 @@ func emit(path string, prog []byte, census bool) error {
 	return nil
 }
 
-func replay(path, censusMode, collector string, gcincr, minimize bool, emitTrace string) error {
+func replay(path, censusMode, collector string, gcincr, minimize bool, emitTrace string, compress bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -123,7 +129,7 @@ func replay(path, censusMode, collector string, gcincr, minimize bool, emitTrace
 	fmt.Printf("%s: %d program bytes, census=%v\n", path, len(prog), census)
 
 	if emitTrace != "" {
-		if err := emit(emitTrace, prog, census); err != nil {
+		if err := emit(emitTrace, prog, census, compress); err != nil {
 			return err
 		}
 	}

@@ -5,7 +5,8 @@
 // event stream, the way the paper's trace-driven comparisons do.
 //
 //	gctrace record [-quick] [-census] [-collector NAME] [-o FILE] WORKLOAD
-//	gctrace replay [-collector NAME|all] [-verify] [-parallel N] [-progress] FILE
+//	gctrace replay [-collector NAME|all] [-verify] [-shards N] [-parallel N] [-progress] FILE
+//	gctrace synth -op OP [-o FILE] [-compress] [-seed N] [-chunk N] [-n N] [-scale NUM/DEN] FILE...
 //	gctrace stat FILE...
 //	gctrace cat [-n N] FILE
 //
@@ -19,7 +20,16 @@
 // from the trace and reports each collector's mutator statistics and gc
 // work. -verify additionally runs the deep heap-invariant verifier after
 // every collection. Replay fails loudly if the end state does not match the
-// trace's recorded statistics.
+// trace's recorded statistics. -shards N splits a synthesized multi-session
+// corpus by session into N independent replay cells per collector and
+// reports per-collector aggregates; the aggregate is identical at any
+// -parallel count.
+//
+// synth composes traces: splice concatenates, interleave merges K traces as
+// independent sessions of one corpus, amplify self-interleaves N salted
+// copies of one trace, and timescale stretches or compresses the
+// collect-boundary density by NUM/DEN. All operators re-base object and
+// root namespaces so the output replays exactly like its inputs.
 //
 // stat aggregates a trace without replaying it: event and allocation
 // profiles, plus an upper-bound lifetime histogram in allocated words.
@@ -27,11 +37,14 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strconv"
+	"strings"
 
 	"rdgc/internal/bench"
 	"rdgc/internal/experiments"
@@ -52,6 +65,8 @@ func main() {
 		err = cmdRecord(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "synth":
+		err = cmdSynth(os.Args[2:])
 	case "stat":
 		err = cmdStat(os.Args[2:])
 	case "cat":
@@ -73,7 +88,8 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   gctrace record [-quick] [-census] [-collector NAME] [-o FILE] WORKLOAD
-  gctrace replay [-collector NAME|all] [-verify] [-parallel N] [-progress] FILE
+  gctrace replay [-collector NAME|all] [-verify] [-shards N] [-parallel N] [-progress] FILE
+  gctrace synth -op splice|interleave|amplify|timescale [-o FILE] [-compress] [-seed N] [-chunk N] [-n N] [-scale NUM/DEN] FILE...
   gctrace stat FILE...
   gctrace cat [-n N] FILE
 
@@ -142,6 +158,133 @@ func cmdRecord(args []string) error {
 	return nil
 }
 
+// openTraces opens each path as a fresh reader (readers are consumed by
+// the synthesis operators, so each call opens its own file handles).
+func openTraces(paths []string) ([]*trace.Reader, func(), error) {
+	var files []*os.File
+	closeAll := func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}
+	rds := make([]*trace.Reader, len(paths))
+	for i, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			closeAll()
+			return nil, nil, err
+		}
+		files = append(files, f)
+		if rds[i], err = trace.NewReader(f); err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	return rds, closeAll, nil
+}
+
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("gctrace synth", flag.ExitOnError)
+	op := fs.String("op", "", "composition operator: splice, interleave, amplify, or timescale")
+	out := fs.String("o", "synth.trace", "output trace file")
+	compress := fs.Bool("compress", false, "write the output with per-block compression")
+	seed := fs.Uint64("seed", 0, "seeded pseudo-random interleave schedule (0 = strict round-robin)")
+	chunk := fs.Int("chunk", 0, "minimum events per scheduling turn (0 = default)")
+	n := fs.Int("n", 0, "amplify: number of salted copies to self-interleave")
+	scale := fs.String("scale", "", "timescale: collect-density ratio NUM/DEN (e.g. 2/1 doubles, 1/2 halves)")
+	fs.Parse(args)
+	opt := trace.SynthOptions{Compress: *compress, Seed: *seed, Chunk: *chunk}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bw := bufio.NewWriter(f)
+
+	var tr trace.Trailer
+	switch *op {
+	case "splice", "interleave":
+		if fs.NArg() < 1 {
+			return fmt.Errorf("%s needs at least one input trace", *op)
+		}
+		rds, closeAll, err := openTraces(fs.Args())
+		if err != nil {
+			return err
+		}
+		defer closeAll()
+		if *op == "splice" {
+			tr, err = trace.Splice(bw, rds, opt)
+		} else {
+			tr, err = trace.Interleave(bw, rds, opt)
+		}
+		if err != nil {
+			return err
+		}
+	case "amplify":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("amplify needs exactly one input trace")
+		}
+		if *n < 1 {
+			return fmt.Errorf("amplify needs -n >= 1")
+		}
+		data, err := os.ReadFile(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		if tr, err = trace.Amplify(bw, data, *n, opt); err != nil {
+			return err
+		}
+	case "timescale":
+		if fs.NArg() != 1 {
+			return fmt.Errorf("timescale needs exactly one input trace")
+		}
+		num, den, err := parseScale(*scale)
+		if err != nil {
+			return err
+		}
+		rds, closeAll, err := openTraces(fs.Args())
+		if err != nil {
+			return err
+		}
+		defer closeAll()
+		if tr, err = trace.TimeScale(bw, rds[0], num, den, opt); err != nil {
+			return err
+		}
+	case "":
+		return fmt.Errorf("synth needs -op (splice, interleave, amplify, or timescale)")
+	default:
+		return fmt.Errorf("unknown synth op %q", *op)
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s of %d input(s): %d events, %d words, %d objects\n",
+		*out, *op, fs.NArg(), tr.Events, tr.WordsAllocated, tr.ObjectsAllocated)
+	return nil
+}
+
+// parseScale parses a NUM/DEN collect-density ratio.
+func parseScale(s string) (num, den int, err error) {
+	a, b, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("timescale needs -scale NUM/DEN (e.g. 2/1)")
+	}
+	if num, err = strconv.Atoi(a); err != nil {
+		return 0, 0, fmt.Errorf("bad -scale numerator %q", a)
+	}
+	if den, err = strconv.Atoi(b); err != nil {
+		return 0, 0, fmt.Errorf("bad -scale denominator %q", b)
+	}
+	if num < 0 || den <= 0 {
+		return 0, 0, fmt.Errorf("-scale needs NUM >= 0 and DEN > 0")
+	}
+	return num, den, nil
+}
+
 // replayGrid reconstructs the collector grid a trace should replay under,
 // from the header metadata record/gcfuzz wrote. Traces without sizing
 // metadata get the fuzz harness's fixed-size grid.
@@ -167,7 +310,12 @@ func replayOne(path string, nc gcfuzz.NamedCollector, verify bool) (replayCell, 
 		return replayCell{}, err
 	}
 	defer f.Close()
-	rd, err := trace.NewReader(f)
+	return replayReader(f, nc, verify)
+}
+
+// replayReader drives one collector from a trace stream on a fresh heap.
+func replayReader(r io.Reader, nc gcfuzz.NamedCollector, verify bool) (replayCell, error) {
+	rd, err := trace.NewReader(r)
 	if err != nil {
 		return replayCell{}, err
 	}
@@ -185,6 +333,7 @@ func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("gctrace replay", flag.ExitOnError)
 	collector := fs.String("collector", "all", "replay under one named collector, or all seven")
 	verify := fs.Bool("verify", false, "run the deep heap-invariant verifier after every collection")
+	shards := fs.Int("shards", 0, "split a multi-session corpus into N per-collector replay cells (session s -> shard s mod N)")
 	parallel := fs.Int("parallel", 0, "worker goroutines (0 = GOMAXPROCS, or $RDGC_PARALLEL)")
 	gcworkers := fs.Int("gcworkers", -1, "parallel tracing workers per heap (0 = sequential engines; -1 = $RDGC_GC_WORKERS); marking parallelizes, evacuation stays sequential under the replayer's move hook")
 	gclab := fs.Bool("gclab", heap.GCLABFromEnv(), "per-worker allocation buffers during parallel evacuation (default $RDGC_GC_LAB)")
@@ -231,6 +380,15 @@ func cmdReplay(args []string) error {
 	workload, _ := hdr.Lookup("workload")
 	fmt.Printf("%s: workload %q, census=%v, %d collectors\n", path, workload, hdr.Census, len(grid))
 
+	var pw io.Writer
+	if *progress {
+		pw = os.Stderr
+	}
+	if *shards > 1 {
+		return replaySharded(path, grid, *shards, *verify,
+			runner.Options{Workers: *parallel, Progress: pw, GCWorkersPerCell: gw})
+	}
+
 	specs := make([]runner.Spec[replayCell], len(grid))
 	for i, nc := range grid {
 		nc := nc
@@ -241,10 +399,6 @@ func cmdReplay(args []string) error {
 				return v.res.Stats.WordsAllocated + v.gc.WordsCopied + v.gc.WordsMarked
 			},
 		}
-	}
-	var pw io.Writer
-	if *progress {
-		pw = os.Stderr
 	}
 	results := runner.Run(specs, runner.Options{Workers: *parallel, Progress: pw, GCWorkersPerCell: gw})
 
@@ -261,6 +415,92 @@ func cmdReplay(args []string) error {
 		fmt.Printf("  %-14s ok  %9d events  %10d words  %4d collections  gc work %10d  peak live %8d\n",
 			r.Name, v.res.Events, v.res.Stats.WordsAllocated,
 			v.gc.Collections, v.gc.WordsCopied+v.gc.WordsMarked, v.gc.PeakLive)
+	}
+	return exit
+}
+
+// replaySharded splits a multi-session corpus by session into n shard
+// traces, replays every (collector, shard) pair as an independent runner
+// cell with its own proportionally sized heap, and reports per-collector
+// aggregates. Shard contents and the summed statistics depend only on the
+// corpus and n — never on -parallel or completion order.
+func replaySharded(path string, grid []gcfuzz.NamedCollector, n int, verify bool, ropt runner.Options) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	rd, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	shards, err := trace.Shard(rd, n, trace.SynthOptions{})
+	f.Close()
+	if err != nil {
+		return err
+	}
+
+	specs := make([]runner.Spec[replayCell], 0, len(grid)*n)
+	for _, nc := range grid {
+		name := nc.Name
+		for j, raw := range shards {
+			raw := raw
+			// Size each shard cell from its own header: Shard scaled
+			// heap_words down by n, so cells stay proportionate.
+			specs = append(specs, runner.Spec[replayCell]{
+				Name: fmt.Sprintf("%s/shard%d", name, j),
+				Run: func() (replayCell, error) {
+					srd, err := trace.NewReader(bytes.NewReader(raw))
+					if err != nil {
+						return replayCell{}, err
+					}
+					snc, err := findCollector(replayGrid(srd.Header()), name)
+					if err != nil {
+						return replayCell{}, err
+					}
+					return replayReader(bytes.NewReader(raw), snc, verify)
+				},
+				Words: func(v replayCell) uint64 {
+					return v.res.Stats.WordsAllocated + v.gc.WordsCopied + v.gc.WordsMarked
+				},
+			})
+		}
+	}
+	results := runner.Run(specs, ropt)
+
+	fmt.Printf("  sharded replay: %d shards per collector\n", n)
+	exit := error(nil)
+	for i, nc := range grid {
+		var cell replayCell
+		var peak int
+		failed := false
+		for j := 0; j < n; j++ {
+			r := results[i*n+j]
+			if r.Err != nil {
+				fmt.Printf("  %-14s FAIL (%s): %v\n", nc.Name, r.Name, r.Err)
+				if exit == nil {
+					exit = fmt.Errorf("replay under %s failed", r.Name)
+				}
+				failed = true
+				break
+			}
+			v := r.Value
+			cell.res.Events += v.res.Events
+			cell.res.Stats.WordsAllocated += v.res.Stats.WordsAllocated
+			cell.res.Stats.ObjectsAllocated += v.res.Stats.ObjectsAllocated
+			cell.gc.Collections += v.gc.Collections
+			cell.gc.WordsCopied += v.gc.WordsCopied
+			cell.gc.WordsMarked += v.gc.WordsMarked
+			if v.gc.PeakLive > peak {
+				peak = v.gc.PeakLive
+			}
+		}
+		if failed {
+			continue
+		}
+		fmt.Printf("  %-14s ok  %9d events  %10d words  %4d collections  gc work %10d  peak live %8d\n",
+			nc.Name, cell.res.Events, cell.res.Stats.WordsAllocated,
+			cell.gc.Collections, cell.gc.WordsCopied+cell.gc.WordsMarked, peak)
 	}
 	return exit
 }

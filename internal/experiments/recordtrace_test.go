@@ -27,8 +27,9 @@ func eventBytes(t *testing.T, raw []byte) []byte {
 	pos := 8 // magic
 	_, n := binary.Uvarint(raw[pos:])
 	pos += n // version
-	blockLen, n := binary.Uvarint(raw[pos:])
-	pos += n + 4 + int(blockLen) // header frame: length + crc32 + payload
+	frame, n := binary.Uvarint(raw[pos:])
+	// v2 frame: uvarint storedLen<<1|compressed + crc32 + stored payload.
+	pos += n + 4 + int(frame>>1)
 	if n <= 0 || pos > len(raw) {
 		t.Fatalf("malformed trace preamble")
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bytes"
 	"math"
 	"os"
 	"path/filepath"
@@ -112,5 +113,61 @@ func TestProfileFromTrace(t *testing.T) {
 	}
 	if res.Agg.Requests == 0 || res.Agg.WordsAlloc == 0 {
 		t.Fatalf("trace-profiled run did no work: %+v", res.Agg)
+	}
+}
+
+// TestProfileFromSynthesizedCorpus feeds the server a synthesized
+// multi-session corpus — amplified and block-compressed — through the
+// same trace:PATH profile hook, proving synthetic corpora drop into the
+// serving stack unchanged.
+func TestProfileFromSynthesizedCorpus(t *testing.T) {
+	var base bytes.Buffer
+	w, err := trace.NewWriter(&base, trace.Header{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var words, objects uint64
+	for i := 0; i < 30; i++ {
+		ev := trace.Event{Kind: trace.KindAlloc, Type: heap.TPair, Size: 2}
+		if i%3 == 0 {
+			ev = trace.Event{Kind: trace.KindAlloc, Type: heap.TVector, Size: 5}
+		}
+		if err := w.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+		words += uint64(1 + ev.Size)
+		objects++
+	}
+	if err := w.Close(trace.Trailer{WordsAllocated: words, ObjectsAllocated: objects, Events: objects}); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 25
+	var corpus bytes.Buffer
+	if _, err := trace.Amplify(&corpus, base.Bytes(), n, trace.SynthOptions{Compress: true, Seed: 4}); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.trace")
+	if err := os.WriteFile(path, corpus.Bytes(), 0o666); err != nil {
+		t.Fatal(err)
+	}
+
+	prof, err := ProfileFromTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Objects != n*objects || len(prof.Classes) != 2 {
+		t.Fatalf("corpus census wrong: objects %d (want %d), %d classes",
+			prof.Objects, n*objects, len(prof.Classes))
+	}
+
+	cfg := smallConfig()
+	cfg.Load.Profiles = []string{TracePrefix + path}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Agg.Requests == 0 || res.Agg.WordsAlloc == 0 {
+		t.Fatalf("corpus-profiled run did no work: %+v", res.Agg)
 	}
 }

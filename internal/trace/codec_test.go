@@ -40,7 +40,7 @@ func genEvents(rng *rand.Rand, n int) []trace.Event {
 	evs = append(evs, alloc())
 	for len(evs) < n {
 		var ev trace.Event
-		switch rng.Intn(10) {
+		switch rng.Intn(11) {
 		case 0:
 			ev = alloc()
 		case 1:
@@ -61,6 +61,8 @@ func genEvents(rng *rand.Rand, n int) []trace.Event {
 			ev = trace.Event{Kind: trace.KindGlobal, Val: someVal()}
 		case 9:
 			ev = trace.Event{Kind: trace.KindCollect, Full: rng.Intn(2) == 0}
+		case 10:
+			ev = trace.Event{Kind: trace.KindSession, Size: rng.Intn(5000)}
 		}
 		evs = append(evs, ev)
 	}

@@ -1,0 +1,217 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"rdgc/internal/heap"
+)
+
+// writeEvents appends n simple events and closes the trace.
+func writeEvents(t *testing.T, w *Writer, n int) {
+	t.Helper()
+	var words, objects uint64
+	for i := 0; i < n; i++ {
+		var ev Event
+		if i%3 == 0 {
+			ev = Event{Kind: KindAlloc, Type: heap.TPair, Size: 2}
+			words += 3
+			objects++
+		} else {
+			ev = Event{Kind: KindStore, Obj: uint64(i / 3), Slot: i % 2, Val: Imm(heap.Word(i))}
+		}
+		if err := w.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(Trailer{WordsAllocated: words, ObjectsAllocated: objects, Events: uint64(n)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestV1TracesStillRead pins backward compatibility: a version-1 trace
+// (bare length framing, no compression flag) must decode under the
+// version-2 reader with identical events.
+func TestV1TracesStillRead(t *testing.T) {
+	hdr := Header{Meta: []MetaEntry{{Key: "workload", Value: "v1-compat"}}}
+	var v1, v2 bytes.Buffer
+	w1, err := newWriterVersion(&v1, hdr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeEvents(t, w1, 5000)
+	w2, err := NewWriter(&v2, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeEvents(t, w2, 5000)
+
+	readAll := func(raw []byte) (uint64, []Event, Trailer) {
+		rd, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var evs []Event
+		var ev Event
+		for {
+			err := rd.Next(&ev)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			evs = append(evs, ev)
+		}
+		return rd.Version(), evs, rd.Trailer()
+	}
+	ver1, evs1, tr1 := readAll(v1.Bytes())
+	ver2, evs2, tr2 := readAll(v2.Bytes())
+	if ver1 != 1 || ver2 != FormatVersion {
+		t.Fatalf("versions: v1 trace read as %d, v2 as %d", ver1, ver2)
+	}
+	if len(evs1) != len(evs2) || tr1 != tr2 {
+		t.Fatalf("v1 decode diverged: %d/%d events, trailers %+v %+v", len(evs1), len(evs2), tr1, tr2)
+	}
+	for i := range evs1 {
+		if evs1[i] != evs2[i] {
+			t.Fatalf("event %d: v1 %v, v2 %v", i, &evs1[i], &evs2[i])
+		}
+	}
+}
+
+// TestV1FeatureGates pins that version 1 cleanly rejects the features
+// that postdate it, and that readers reject unknown future versions.
+func TestV1FeatureGates(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := newWriterVersion(&buf, Header{}, 1, WithCompression()); !errors.Is(err, ErrVersion) {
+		t.Fatalf("v1 + compression: got %v, want ErrVersion", err)
+	}
+
+	buf.Reset()
+	w, err := newWriterVersion(&buf, Header{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Event{Kind: KindSession, Size: 3}
+	if err := w.Append(&ev); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("v1 + session event: got %v, want ErrInvalid", err)
+	}
+
+	future := append([]byte{}, magic[:]...)
+	future = binary.AppendUvarint(future, FormatVersion+1)
+	if _, err := NewReader(bytes.NewReader(future)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("future version: got %v, want ErrVersion", err)
+	}
+}
+
+// TestMixedCompressedBlocks reads a trace whose blocks alternate between
+// compressed and raw — legal on the wire since the flag is per block, and
+// what a compressing writer naturally produces when some blocks don't
+// shrink. The writer's compress toggle is flipped mid-stream to force a
+// deterministic mix.
+func TestMixedCompressedBlocks(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, Header{}, WithCompression())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []Event
+	append1 := func(ev Event) {
+		if err := w.Append(&ev); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, ev)
+	}
+	var words, objects uint64
+	for seg := 0; seg < 6; seg++ {
+		w.compress = seg%2 == 0 // internal toggle: even segments compress, odd store raw
+		for i := 0; i < 9000; i++ {
+			if i%3 == 0 {
+				append1(Event{Kind: KindAlloc, Type: heap.TVector, Size: 4, Obj: objects})
+				words += 5
+				objects++
+			} else {
+				append1(Event{Kind: KindFill, Obj: objects - 1, Val: Imm(heap.Word(i))})
+			}
+		}
+		if err := w.flushBlock(); err != nil { // seal the segment so the toggle lands on a block boundary
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(Trailer{WordsAllocated: words, ObjectsAllocated: objects, Events: uint64(len(want))}); err != nil {
+		t.Fatal(err)
+	}
+
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	for i := range want {
+		if err := rd.Next(&ev); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev != want[i] {
+			t.Fatalf("event %d: got %v, want %v", i, &ev, &want[i])
+		}
+	}
+	if err := rd.Next(&ev); !errors.Is(err, io.EOF) {
+		t.Fatalf("after last event: got %v, want EOF", err)
+	}
+	if rd.StoredBytes() >= rd.RawBytes() || rd.StoredBytes() == 0 {
+		t.Fatalf("mixed stream: stored %d vs raw %d, want a partial reduction", rd.StoredBytes(), rd.RawBytes())
+	}
+}
+
+// TestLZRoundTrip exercises the block codec directly across data shapes:
+// highly repetitive, purely random, overlapping runs, and tiny inputs.
+func TestLZRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var tab lzTable
+	cases := [][]byte{
+		{},
+		{0x42},
+		[]byte("abcabcabcabcabcabcabcabc"),
+		bytes.Repeat([]byte{7}, 100000), // long overlapping run (offset 1)
+		make([]byte, blockTarget),
+	}
+	random := make([]byte, blockTarget)
+	rng.Read(random)
+	cases = append(cases, random)
+	mixed := append(bytes.Repeat([]byte("trace"), 2000), random[:4096]...)
+	cases = append(cases, mixed)
+	for i, src := range cases {
+		comp := lzAppend(nil, src, &tab)
+		got := make([]byte, len(src))
+		if !lzDecode(got, comp) {
+			t.Fatalf("case %d: decode failed for %d-byte input", i, len(src))
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("case %d: round trip mangled %d-byte input", i, len(src))
+		}
+	}
+}
+
+// TestLZDecodeNeverPanics feeds the decoder random garbage and random
+// truncations of valid streams: it must return false (or a correct
+// decode), never panic or write out of bounds.
+func TestLZDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var tab lzTable
+	src := bytes.Repeat([]byte("abcdefgh12345678"), 512)
+	comp := lzAppend(nil, src, &tab)
+	dst := make([]byte, len(src))
+	for n := 0; n < len(comp); n++ {
+		lzDecode(dst, comp[:n]) // result irrelevant; must not panic
+	}
+	garbage := make([]byte, 4096)
+	for trial := 0; trial < 200; trial++ {
+		rng.Read(garbage)
+		lzDecode(dst, garbage)
+	}
+}

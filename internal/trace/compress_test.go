@@ -1,0 +1,191 @@
+package trace_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rdgc/internal/heap"
+	"rdgc/internal/trace"
+)
+
+// encodeZ writes the events as a complete compressed trace.
+func encodeZ(t *testing.T, hdr trace.Header, evs []trace.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := trace.NewWriter(&buf, hdr, trace.WithCompression())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range evs {
+		ev := evs[i]
+		if err := w.Append(&ev); err != nil {
+			t.Fatalf("append %v: %v", &evs[i], err)
+		}
+	}
+	if err := w.Close(trace.Trailer{WordsAllocated: 12345, ObjectsAllocated: 99, Events: uint64(len(evs))}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCompressedRoundTrip is the compressed-codec core property: random
+// valid event sequences survive a compressed Writer→Reader unchanged and
+// identical to their uncompressed decode, and re-encoding the decoded
+// stream with compression reproduces the compressed bytes exactly.
+func TestCompressedRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(20000)
+		want := genEvents(rng, n)
+		hdr := trace.Header{Census: seed%2 == 0, Meta: []trace.MetaEntry{{Key: "workload", Value: "compress-test"}}}
+		raw := encode(t, hdr, want)
+		comp := encodeZ(t, hdr, want)
+
+		gotHdr, got, tr := decode(t, comp)
+		if gotHdr.Census != hdr.Census {
+			t.Fatalf("seed %d: header mangled: %+v", seed, gotHdr)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: decoded %d events, wrote %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: event %d: got %v, want %v", seed, i, &got[i], &want[i])
+			}
+		}
+		if tr.Events != uint64(n) {
+			t.Fatalf("seed %d: trailer %+v", seed, tr)
+		}
+
+		// Both encodings decode to the same events (checked above against
+		// want); the compressed trace must also re-encode byte-for-byte.
+		if again := encodeZ(t, gotHdr, got); !bytes.Equal(comp, again) {
+			t.Fatalf("seed %d: re-encoding decoded events changed the compressed bytes (%d vs %d)",
+				seed, len(comp), len(again))
+		}
+		if len(comp) >= len(raw)+16 {
+			t.Fatalf("seed %d: compression grew the trace: %d compressed vs %d raw", seed, len(comp), len(raw))
+		}
+	}
+}
+
+// TestReadAmplification pins the reader's stored/raw byte accounting: an
+// uncompressed trace reads 1:1, a compressed one reads fewer stored bytes
+// than it yields raw.
+func TestReadAmplification(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	evs := genEvents(rng, 40000)
+	raw := encode(t, trace.Header{}, evs)
+	comp := encodeZ(t, trace.Header{}, evs)
+
+	rd, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if rd.StoredBytes() != rd.RawBytes() || rd.StoredBytes() == 0 {
+		t.Fatalf("uncompressed trace: stored %d, raw %d, want equal and nonzero", rd.StoredBytes(), rd.RawBytes())
+	}
+	wantRaw := rd.RawBytes()
+
+	zd, err := trace.NewReader(bytes.NewReader(comp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zd.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if zd.RawBytes() != wantRaw {
+		t.Fatalf("compressed trace decompressed to %d payload bytes, want %d", zd.RawBytes(), wantRaw)
+	}
+	if zd.StoredBytes() >= zd.RawBytes() {
+		t.Fatalf("compressed trace stored %d bytes for %d raw, expected a reduction", zd.StoredBytes(), zd.RawBytes())
+	}
+}
+
+// smallTraceZ builds a short compressed trace for exhaustive corruption.
+// The uniform event mix compresses, so the corruption walks below
+// exercise the compressed-block decode path, not just the framing.
+func smallTraceZ(t *testing.T) []byte {
+	rng := rand.New(rand.NewSource(7))
+	return encodeZ(t, trace.Header{Meta: []trace.MetaEntry{{Key: "workload", Value: "corrupt-me"}}}, genEvents(rng, 300))
+}
+
+// TestCompressedTruncationEveryPrefix cuts a compressed trace at every
+// byte boundary: every prefix must fail with a sentinel — never succeed,
+// never panic.
+func TestCompressedTruncationEveryPrefix(t *testing.T) {
+	raw := smallTraceZ(t)
+	for n := 0; n < len(raw); n++ {
+		err := drainAll(raw[:n])
+		if err == nil {
+			t.Fatalf("prefix of %d/%d bytes parsed as a complete trace", n, len(raw))
+		}
+		if !isSentinel(err) {
+			t.Fatalf("prefix of %d bytes: non-sentinel error %v", n, err)
+		}
+	}
+	if err := drainAll(raw); err != nil {
+		t.Fatalf("full trace must parse: %v", err)
+	}
+}
+
+// TestCompressedBitFlipEveryBit flips every bit of a compressed trace:
+// the block CRC covers the stored (compressed) bytes, so every flip must
+// surface as a sentinel before the decompressor can be misled.
+func TestCompressedBitFlipEveryBit(t *testing.T) {
+	raw := smallTraceZ(t)
+	mut := make([]byte, len(raw))
+	for pos := 0; pos < len(raw); pos++ {
+		for bit := 0; bit < 8; bit++ {
+			copy(mut, raw)
+			mut[pos] ^= 1 << bit
+			err := drainAll(mut)
+			if err == nil {
+				t.Fatalf("flipping byte %d bit %d went undetected", pos, bit)
+			}
+			if !isSentinel(err) {
+				t.Fatalf("flipping byte %d bit %d: non-sentinel error %v", pos, bit, err)
+			}
+		}
+	}
+}
+
+// TestCompressedReaderSteadyStateZeroAllocs mirrors the uncompressed
+// guard: block-at-a-time decompression must go into reused buffers, so a
+// warm reader decodes compressed traces without allocating.
+func TestCompressedReaderSteadyStateZeroAllocs(t *testing.T) {
+	var evs []trace.Event
+	for i := 0; i < 120000; i++ {
+		if i%3 == 0 {
+			evs = append(evs, trace.Event{Kind: trace.KindAlloc, Type: heap.TPair, Size: 2, Obj: uint64(i / 3)})
+		} else {
+			evs = append(evs, trace.Event{Kind: trace.KindStore, Obj: uint64(i / 3), Slot: 0, Val: trace.Imm(heap.FixnumWord(4))})
+		}
+	}
+	raw := encodeZ(t, trace.Header{}, evs)
+
+	rd, err := trace.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev trace.Event
+	for i := 0; i < 20000; i++ { // warmup: block and staging buffers reach steady size
+		if err := rd.Next(&ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < 1000; i++ {
+			if err := rd.Next(&ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state compressed Next allocates %.2f objects per 1000 events, want 0", allocs)
+	}
+}

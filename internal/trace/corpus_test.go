@@ -32,38 +32,63 @@ func buildCorpus(t *testing.T) []corpusEntry {
 		return raw
 	}
 
-	// A fixed byte program through the fuzz harness's RunWith hook.
-	prog := make([]byte, 300)
-	for i := range prog {
-		prog[i] = byte(i*7 + 3)
+	// A fixed byte program through the fuzz harness's RunWith hook — the
+	// same wiring cmd/gcfuzz -emit-trace (and -compress) uses.
+	fuzzProg := func(wopts ...trace.WriterOption) []byte {
+		prog := make([]byte, 300)
+		for i := range prog {
+			prog[i] = byte(i*7 + 3)
+		}
+		var buf bytes.Buffer
+		var rec *trace.Recorder
+		_, err := gcfuzz.RunWith(prog, gcfuzz.Collectors()[0].New, false,
+			func(h *heap.Heap, c heap.Collector) heap.Collector {
+				w, werr := trace.NewWriter(&buf, trace.Header{Meta: []trace.MetaEntry{
+					{Key: "workload", Value: "gcfuzz:corpus"},
+					{Key: "sizing", Value: "gcfuzz"},
+				}}, wopts...)
+				if werr != nil {
+					t.Fatal(werr)
+				}
+				if rec, werr = trace.NewRecorder(h, w); werr != nil {
+					t.Fatal(werr)
+				}
+				return rec.Collector(c)
+			})
+		if err != nil {
+			t.Fatalf("corpus gcfuzz program failed: %v", err)
+		}
+		if err := rec.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
 	}
-	var buf bytes.Buffer
-	var rec *trace.Recorder
-	_, err := gcfuzz.RunWith(prog, gcfuzz.Collectors()[0].New, false,
-		func(h *heap.Heap, c heap.Collector) heap.Collector {
-			w, werr := trace.NewWriter(&buf, trace.Header{Meta: []trace.MetaEntry{
-				{Key: "workload", Value: "gcfuzz:corpus"},
-				{Key: "sizing", Value: "gcfuzz"},
-			}})
-			if werr != nil {
-				t.Fatal(werr)
-			}
-			if rec, werr = trace.NewRecorder(h, w); werr != nil {
-				t.Fatal(werr)
-			}
-			return rec.Collector(c)
-		})
+	gcfuzzRaw := fuzzProg()
+
+	// A compressed interleave of two plain sessions, so the checked-in
+	// corpus pins the synthesized format (session markers, salted symbols,
+	// compressed blocks) and the replay tests below cover it everywhere.
+	s1, prog := mutator(false, 1), gcfuzzRaw
+	var synthBuf bytes.Buffer
+	in1, err := trace.NewReader(bytes.NewReader(s1))
 	if err != nil {
-		t.Fatalf("corpus gcfuzz program failed: %v", err)
-	}
-	if err := rec.Finish(); err != nil {
 		t.Fatal(err)
+	}
+	in2, err := trace.NewReader(bytes.NewReader(prog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := trace.Interleave(&synthBuf, []*trace.Reader{in1, in2},
+		trace.SynthOptions{Compress: true, Seed: 7, Chunk: 32}); err != nil {
+		t.Fatalf("corpus interleave failed: %v", err)
 	}
 
 	return []corpusEntry{
-		{"mutator-s1.trace", mutator(false, 1)},
+		{"mutator-s1.trace", s1},
 		{"mutator-s2-census.trace", mutator(true, 2)},
-		{"gcfuzz-prog.trace", buf.Bytes()},
+		{"gcfuzz-prog.trace", gcfuzzRaw},
+		{"gcfuzz-prog-z.trace", fuzzProg(trace.WithCompression())},
+		{"synth-interleave-z.trace", synthBuf.Bytes()},
 	}
 }
 

@@ -39,14 +39,20 @@ const (
 	// KindCollect is a mutator-requested collection boundary; Full asks
 	// for a whole-heap collection where the collector supports one.
 	KindCollect
+	// KindSession marks the start of a synthesized session's turn: the
+	// events that follow, up to the next marker, belong to merged session
+	// Size. It has no heap effect and the replayer ignores it; the
+	// synthesis operators (Interleave, Amplify) emit it and Split and the
+	// sharded replay driver consume it. Format version ≥ 2 only.
+	KindSession
 
-	kindMax = KindCollect
+	kindMax = KindSession
 )
 
 var kindNames = [...]string{
 	KindAlloc: "alloc", KindStore: "store", KindFill: "fill", KindRaw: "raw",
 	KindIntern: "intern", KindPush: "push", KindPopTo: "popto", KindSet: "set",
-	KindGlobal: "global", KindCollect: "collect",
+	KindGlobal: "global", KindCollect: "collect", KindSession: "session",
 }
 
 func (k Kind) String() string {
@@ -113,6 +119,8 @@ func (e *Event) String() string {
 			return "collect full"
 		}
 		return "collect"
+	case KindSession:
+		return fmt.Sprintf("session %d", e.Size)
 	}
 	return fmt.Sprintf("event(%d)", uint8(e.Kind))
 }

@@ -16,15 +16,19 @@ import (
 // allocate (KindIntern's symbol name is the one exception). Errors are
 // sticky and wrap the package sentinels.
 type Reader struct {
-	br     *bufio.Reader
-	hdr    Header
-	blk    []byte // current block payload (buffer reused across blocks)
-	pos    int    // decode cursor within blk
-	nextID uint64 // mirrors the writer's allocation counter
-	events uint64
-	tr     Trailer
-	done   bool
-	err    error
+	br      *bufio.Reader
+	version uint64
+	hdr     Header
+	blk     []byte // current block payload (buffer reused across blocks)
+	cbuf    []byte // compressed-block staging buffer, likewise reused
+	pos     int    // decode cursor within blk
+	nextID  uint64 // mirrors the writer's allocation counter
+	events  uint64
+	stored  uint64 // payload bytes as framed on the wire
+	raw     uint64 // payload bytes after decompression
+	tr      Trailer
+	done    bool
+	err     error
 }
 
 // NewReader checks the preamble and decodes the header block. The reader
@@ -42,9 +46,11 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%w: reading version: %v", ErrTruncated, err)
 	}
-	if version != FormatVersion {
-		return nil, fmt.Errorf("%w: got version %d, support %d", ErrVersion, version, FormatVersion)
+	if version < minReadVersion || version > FormatVersion {
+		return nil, fmt.Errorf("%w: got version %d, support %d..%d",
+			ErrVersion, version, minReadVersion, FormatVersion)
 	}
+	tr.version = version
 	if err := tr.readBlock(); err != nil {
 		return nil, err
 	}
@@ -60,8 +66,19 @@ func NewReader(r io.Reader) (*Reader, error) {
 // Header returns the trace's decoded header.
 func (r *Reader) Header() Header { return r.hdr }
 
+// Version returns the format version of the trace being read.
+func (r *Reader) Version() uint64 { return r.version }
+
 // Events returns the number of events decoded so far.
 func (r *Reader) Events() uint64 { return r.events }
+
+// StoredBytes returns the block payload bytes read off the wire so far,
+// and RawBytes the bytes those payloads decompressed to; their ratio is
+// the stream's read amplification (1.0 for an uncompressed trace).
+func (r *Reader) StoredBytes() uint64 { return r.stored }
+
+// RawBytes returns the decompressed block payload bytes read so far.
+func (r *Reader) RawBytes() uint64 { return r.raw }
 
 // Trailer returns the recorded end-state statistics. It is valid only
 // after Next has returned io.EOF.
@@ -76,11 +93,18 @@ func (r *Reader) fail(sentinel error, format string, args ...any) error {
 // readBlock loads the next framed block into r.blk, or decodes the
 // trailer (setting done) when it hits the terminator.
 func (r *Reader) readBlock() error {
-	n, err := binary.ReadUvarint(r.br)
+	u, err := binary.ReadUvarint(r.br)
 	if err != nil {
 		return r.fail(ErrTruncated, "reading block length: %v", err)
 	}
+	n, compressed := u, false
+	if r.version >= 2 {
+		n, compressed = u>>1, u&1 == 1
+	}
 	if n == 0 {
+		if compressed {
+			return r.fail(ErrCorrupt, "compressed terminator frame")
+		}
 		return r.readTrailer()
 	}
 	if n > maxBlock {
@@ -91,16 +115,37 @@ func (r *Reader) readBlock() error {
 		return r.fail(ErrTruncated, "reading block checksum: %v", err)
 	}
 	want := binary.LittleEndian.Uint32(crcBuf[:])
-	if cap(r.blk) < int(n) {
-		r.blk = make([]byte, n)
+	dst := &r.blk
+	if compressed {
+		dst = &r.cbuf
 	}
-	r.blk = r.blk[:n]
-	if _, err := io.ReadFull(r.br, r.blk); err != nil {
+	if cap(*dst) < int(n) {
+		*dst = make([]byte, n)
+	}
+	*dst = (*dst)[:n]
+	if _, err := io.ReadFull(r.br, *dst); err != nil {
 		return r.fail(ErrTruncated, "reading %d-byte block: %v", n, err)
 	}
-	if got := crc32.ChecksumIEEE(r.blk); got != want {
+	// The CRC covers the stored bytes, so corruption is caught before the
+	// decompressor ever sees the payload.
+	if got := crc32.ChecksumIEEE(*dst); got != want {
 		return r.fail(ErrCorrupt, "block checksum mismatch: %#x != %#x", got, want)
 	}
+	r.stored += n
+	if compressed {
+		rawLen, m := binary.Uvarint(r.cbuf)
+		if m <= 0 || rawLen == 0 || rawLen > maxBlock {
+			return r.fail(ErrCorrupt, "bad compressed-block raw length")
+		}
+		if cap(r.blk) < int(rawLen) {
+			r.blk = make([]byte, rawLen)
+		}
+		r.blk = r.blk[:rawLen]
+		if !lzDecode(r.blk, r.cbuf[m:]) {
+			return r.fail(ErrCorrupt, "compressed block does not decode to %d bytes", rawLen)
+		}
+	}
+	r.raw += uint64(len(r.blk))
 	r.pos = 0
 	return nil
 }
@@ -347,6 +392,15 @@ func (r *Reader) Next(ev *Event) error {
 			return err
 		}
 		ev.Full = full != 0
+	case KindSession:
+		sess, err := r.uvarint()
+		if err != nil {
+			return err
+		}
+		if sess > maxBlock {
+			return r.fail(ErrCorrupt, "absurd session index %d", sess)
+		}
+		ev.Size = int(sess)
 	default:
 		return r.fail(ErrCorrupt, "unknown event opcode %d", op)
 	}

@@ -126,6 +126,8 @@ func (rp *Replayer) Apply(ev *Event) error {
 			}
 		}
 		rp.c.Collect()
+	case KindSession:
+		// Synthetic session attribution marker; no heap effect.
 	default:
 		return fmt.Errorf("%w: unknown event kind %d", ErrInvalid, ev.Kind)
 	}

@@ -37,6 +37,9 @@ type Summary struct {
 	// Collections and FullCollections count mutator-requested boundaries.
 	Collections     uint64
 	FullCollections uint64
+	// Sessions is the number of distinct sessions a synthesized trace
+	// carries (highest session marker + 1); zero for recorded traces.
+	Sessions uint64
 }
 
 // Stat consumes the whole trace and aggregates it.
@@ -86,6 +89,10 @@ func Stat(rd *Reader) (*Summary, error) {
 			} else {
 				s.Collections++
 			}
+		case KindSession:
+			if n := uint64(ev.Size) + 1; n > s.Sessions {
+				s.Sessions = n
+			}
 		}
 	}
 	s.Trailer = rd.Trailer()
@@ -115,6 +122,9 @@ func (s *Summary) Format() string {
 	fmt.Fprintf(&b, "events: %d   words: %d   objects: %d\n",
 		s.Trailer.Events, s.Trailer.WordsAllocated, s.Trailer.ObjectsAllocated)
 	fmt.Fprintf(&b, "collections requested: %d (+%d full)\n", s.Collections, s.FullCollections)
+	if s.Sessions > 0 {
+		fmt.Fprintf(&b, "sessions: %d\n", s.Sessions)
+	}
 
 	b.WriteString("events by kind:\n")
 	for k := Kind(1); k <= kindMax; k++ {

@@ -12,22 +12,37 @@
 //	magic "rdgctrc\x00" | uvarint version | header block | event blocks...
 //	| uvarint 0 (terminator) | trailer
 //
-// Every block is framed as uvarint(payload length) + 4-byte little-endian
-// CRC32 (IEEE) of the payload + the payload itself, so truncation and
-// corruption are detected block by block without buffering the whole
-// trace. The header payload carries a census flag plus ordered key/value
-// metadata strings; event payloads are back-to-back varint-encoded events
-// with object IDs delta-compressed against the most recently allocated
-// object. The trailer repeats the final mutator statistics and event
-// count (with its own CRC), so a replay can prove it reproduced the
-// recorded run — and a reader can prove it saw the whole trace.
+// Every block is framed as uvarint(stored length << 1 | compressed flag)
+// + 4-byte little-endian CRC32 (IEEE) of the stored payload + the stored
+// payload itself, so truncation and corruption are detected block by
+// block without buffering the whole trace. A compressed block's stored
+// payload is uvarint(raw length) followed by the LZ-coded raw payload
+// (see compress.go); the CRC always covers the bytes on the wire. Format
+// version 1 framed blocks as a bare uvarint(payload length) with no
+// compression flag; readers still accept it. The header payload carries
+// a census flag plus ordered key/value metadata strings; event payloads
+// are back-to-back varint-encoded events with object IDs
+// delta-compressed against the most recently allocated object. The
+// trailer repeats the final mutator statistics and event count (with its
+// own CRC), so a replay can prove it reproduced the recorded run — and a
+// reader can prove it saw the whole trace.
 package trace
 
 import "errors"
 
-// FormatVersion is the trace format this package writes. Readers reject
-// other versions with ErrVersion; compatible extensions must bump it.
-const FormatVersion = 1
+// FormatVersion is the trace format this package writes. Readers accept
+// minReadVersion through FormatVersion and reject anything else with
+// ErrVersion; any change to framing or event encoding must bump it —
+// there are no in-version extensions.
+//
+// Version history:
+//
+//	1: original framing, uncompressed blocks only
+//	2: per-block compression flag in the frame varint; KindSession events
+const FormatVersion = 2
+
+// minReadVersion is the oldest format version readers still decode.
+const minReadVersion = 1
 
 // magic opens every trace file.
 var magic = [8]byte{'r', 'd', 'g', 'c', 't', 'r', 'c', 0}

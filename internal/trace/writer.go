@@ -11,22 +11,52 @@ import (
 // block (~32 KiB), never the whole trace. The caller must Close with the
 // final trailer; a trace without a trailer reads back as truncated.
 type Writer struct {
-	w      io.Writer
-	hdr    Header
-	buf    []byte // current block's payload, sealed at blockTarget
-	frame  []byte // scratch for framing (length + crc) and the preamble
-	nextID uint64 // ID the next KindAlloc event will receive
-	events uint64
-	closed bool
-	err    error // sticky first error
+	w        io.Writer
+	hdr      Header
+	version  uint64
+	compress bool
+	buf      []byte   // current block's payload, sealed at blockTarget
+	cbuf     []byte   // scratch for the compressed form of a block
+	lz       *lzTable // match table, allocated when compression is on
+	frame    []byte   // scratch for framing (length + crc) and the preamble
+	nextID   uint64   // ID the next KindAlloc event will receive
+	events   uint64
+	closed   bool
+	err      error // sticky first error
+}
+
+// WriterOption configures a Writer.
+type WriterOption func(*Writer)
+
+// WithCompression makes the writer LZ-compress each block, keeping the
+// compressed form only when it is actually smaller — incompressible
+// blocks are stored raw, so a trace may freely mix both. Readers need no
+// option; the per-block flag tells them which form each block took.
+func WithCompression() WriterOption {
+	return func(w *Writer) { w.compress = true }
 }
 
 // NewWriter writes the trace preamble (magic, version, header block) to w
 // and returns a streaming event writer. It does not close w.
-func NewWriter(w io.Writer, hdr Header) (*Writer, error) {
-	tw := &Writer{w: w, hdr: hdr}
+func NewWriter(w io.Writer, hdr Header, opts ...WriterOption) (*Writer, error) {
+	return newWriterVersion(w, hdr, FormatVersion, opts...)
+}
+
+// newWriterVersion is NewWriter with the format version exposed, so tests
+// can emit old-version traces and prove readers still accept them.
+func newWriterVersion(w io.Writer, hdr Header, version uint64, opts ...WriterOption) (*Writer, error) {
+	tw := &Writer{w: w, hdr: hdr, version: version}
+	for _, opt := range opts {
+		opt(tw)
+	}
+	if tw.compress {
+		if version < 2 {
+			return nil, fmt.Errorf("%w: version %d has no compression flag", ErrVersion, version)
+		}
+		tw.lz = new(lzTable)
+	}
 	tw.frame = append(tw.frame[:0], magic[:]...)
-	tw.frame = binary.AppendUvarint(tw.frame, FormatVersion)
+	tw.frame = binary.AppendUvarint(tw.frame, version)
 	if _, err := w.Write(tw.frame); err != nil {
 		return nil, err
 	}
@@ -56,13 +86,25 @@ func (w *Writer) flushBlock() error {
 	if w.err != nil || len(w.buf) == 0 {
 		return w.err
 	}
-	w.frame = binary.AppendUvarint(w.frame[:0], uint64(len(w.buf)))
-	w.frame = binary.LittleEndian.AppendUint32(w.frame, crc32.ChecksumIEEE(w.buf))
+	payload, flag := w.buf, uint64(0)
+	if w.compress {
+		w.cbuf = binary.AppendUvarint(w.cbuf[:0], uint64(len(w.buf)))
+		w.cbuf = lzAppend(w.cbuf, w.buf, w.lz)
+		if len(w.cbuf) < len(w.buf) {
+			payload, flag = w.cbuf, 1
+		}
+	}
+	if w.version >= 2 {
+		w.frame = binary.AppendUvarint(w.frame[:0], uint64(len(payload))<<1|flag)
+	} else {
+		w.frame = binary.AppendUvarint(w.frame[:0], uint64(len(payload)))
+	}
+	w.frame = binary.LittleEndian.AppendUint32(w.frame, crc32.ChecksumIEEE(payload))
 	if _, err := w.w.Write(w.frame); err != nil {
 		w.err = err
 		return err
 	}
-	if _, err := w.w.Write(w.buf); err != nil {
+	if _, err := w.w.Write(payload); err != nil {
 		w.err = err
 		return err
 	}
@@ -126,6 +168,14 @@ func (w *Writer) Append(ev *Event) error {
 			full = 1
 		}
 		b = append(b, full)
+	case KindSession:
+		if w.version < 2 {
+			err = fmt.Errorf("%w: version %d has no session events", ErrInvalid, w.version)
+		} else if ev.Size < 0 {
+			err = fmt.Errorf("%w: negative session index %d", ErrInvalid, ev.Size)
+		} else {
+			b = binary.AppendUvarint(b, uint64(ev.Size))
+		}
 	default:
 		err = fmt.Errorf("%w: unknown kind %d", ErrInvalid, ev.Kind)
 	}
